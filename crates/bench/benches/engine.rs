@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks of the simulation engine itself: how fast the
+//! scheduler processes events on the host (wall time, not virtual time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hupc::prelude::*;
+
+/// A full simulation: `actors` actors × `rounds` advance+barrier rounds.
+fn run_rounds(actors: usize, rounds: usize) {
+    let mut sim = Simulation::new();
+    let bar = sim.kernel().new_barrier(actors);
+    for a in 0..actors as u64 {
+        sim.spawn(format!("a{a}"), move |ctx| {
+            for i in 0..rounds as u64 {
+                ctx.advance(time::ns(100 + (a * 7 + i) % 50));
+                ctx.barrier_wait(bar);
+            }
+        });
+    }
+    sim.run();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    for actors in [2usize, 8, 32] {
+        g.bench_with_input(
+            BenchmarkId::new("barrier_rounds", actors),
+            &actors,
+            |b, &n| b.iter(|| run_rounds(n, 50)),
+        );
+    }
+    g.bench_function("spmd_put_ring", |b| {
+        b.iter(|| {
+            let job = UpcJob::new(UpcConfig::test_default(4, 2));
+            let rt = std::sync::Arc::clone(job.runtime());
+            let off = rt.alloc_words(16);
+            job.run(move |upc| {
+                let me = upc.mythread();
+                for _ in 0..20 {
+                    upc.memput((me + 1) % 4, off, &[me as u64; 16]);
+                    upc.barrier();
+                }
+            });
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benchmark of a full simulated all-to-all exchange (host wall
+//! time per simulated collective — the dominant unit of figure runs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hupc::prelude::*;
+
+fn exchange_once(threads: usize, count: usize) {
+    let job = UpcJob::new(UpcConfig::test_default(threads, 2));
+    let src = job.alloc_shared::<u64>(threads * threads * count, threads * count);
+    let dst = job.alloc_shared::<u64>(threads * threads * count, threads * count);
+    job.run(move |upc| {
+        let me = upc.mythread();
+        src.with_local_words(&upc, |w| {
+            for (i, x) in w.iter_mut().enumerate() {
+                *x = (me * 100_000 + i) as u64;
+            }
+        });
+        upc.barrier();
+        upc.all_exchange(src, dst, count, false);
+    });
+}
+
+fn bench_exchange(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exchange");
+    g.sample_size(10);
+    for threads in [2usize, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("all_exchange_64w", threads),
+            &threads,
+            |b, &n| b.iter(|| exchange_once(n, 64)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_exchange);
+criterion_main!(benches);

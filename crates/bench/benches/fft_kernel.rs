@@ -1,0 +1,46 @@
+//! Criterion benchmarks of the from-scratch FFT kernel (host wall time):
+//! the compute engine behind the NAS FT reproduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hupc::fft::{Complex, Direction, FftPlan};
+
+fn signal(n: usize) -> Vec<Complex> {
+    (0..n)
+        .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.7).cos()))
+        .collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft_kernel");
+    for log_n in [8u32, 10, 12, 14] {
+        let n = 1usize << log_n;
+        let plan = FftPlan::new(n);
+        let sig = signal(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            b.iter_batched(
+                || sig.clone(),
+                |mut s| plan.transform(&mut s, Direction::Forward),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    // round trip at a fixed size (accuracy-preserving path)
+    let n = 1 << 12;
+    let plan = FftPlan::new(n);
+    let sig = signal(n);
+    g.bench_function("round_trip_4096", |b| {
+        b.iter_batched(
+            || sig.clone(),
+            |mut s| {
+                plan.transform(&mut s, Direction::Forward);
+                plan.transform(&mut s, Direction::Inverse);
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fft);
+criterion_main!(benches);

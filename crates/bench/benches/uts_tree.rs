@@ -1,0 +1,35 @@
+//! Criterion benchmarks of UTS tree generation (SHA-1 node derivation) —
+//! the per-node work the simulated benchmark charges 350 ns for.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hupc::uts::{sequential_traverse, sha1, TreeParams};
+
+fn bench_uts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("uts_tree");
+
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("sha1_64B", |b| {
+        let data = [0xabu8; 64];
+        b.iter(|| sha1(std::hint::black_box(&data)))
+    });
+
+    let p = TreeParams::small_binomial(7);
+    let (nodes, _, _) = sequential_traverse(&p);
+    g.throughput(Throughput::Elements(nodes));
+    g.bench_function("traverse_small_binomial", |b| {
+        b.iter(|| sequential_traverse(std::hint::black_box(&p)))
+    });
+
+    g.bench_function("children_generation", |b| {
+        let root = p.root();
+        let mut kids = Vec::new();
+        b.iter(|| {
+            p.children(std::hint::black_box(&root), &mut kids);
+            kids.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_uts);
+criterion_main!(benches);

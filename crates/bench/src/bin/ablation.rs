@@ -1,0 +1,7 @@
+//! Ablation sweeps: UTS steal granularity, FT overlap benefit.
+
+fn main() {
+    let args = hupc_bench::parse_args();
+    let tables = hupc_bench::exp::ablation::run(args.quick);
+    hupc_bench::report::emit(&args, &tables);
+}

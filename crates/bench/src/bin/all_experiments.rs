@@ -1,0 +1,25 @@
+//! Run every experiment in sequence (use --quick for a smoke sweep).
+
+type Experiment = (&'static str, fn(bool) -> Vec<hupc_bench::Table>);
+
+fn main() {
+    let args = hupc_bench::parse_args();
+    let experiments: Vec<Experiment> = vec![
+        ("Table 3.1", hupc_bench::exp::table_3_1::run),
+        ("Fig 3.3", hupc_bench::exp::fig_3_3::run),
+        ("Table 3.2", hupc_bench::exp::table_3_2::run),
+        ("Fig 3.4", hupc_bench::exp::fig_3_4::run),
+        ("Table 4.1", hupc_bench::exp::table_4_1::run),
+        ("Fig 4.2", hupc_bench::exp::fig_4_2::run),
+        ("Fig 4.4", hupc_bench::exp::fig_4_4::run),
+        ("Fig 4.5", hupc_bench::exp::fig_4_5::run),
+        ("Fig 4.6", hupc_bench::exp::fig_4_6::run),
+    ];
+    for (name, f) in experiments {
+        eprintln!("[running {name} ...]");
+        let t0 = std::time::Instant::now();
+        let tables = f(args.quick);
+        hupc_bench::report::emit(&args, &tables);
+        eprintln!("[{name} done in {:.1}s]", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerate thesis Fig 3 3.
+
+fn main() {
+    let args = hupc_bench::parse_args();
+    let tables = hupc_bench::exp::fig_3_3::run(args.quick);
+    hupc_bench::report::emit(&args, &tables);
+}

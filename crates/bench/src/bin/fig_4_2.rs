@@ -1,0 +1,7 @@
+//! Regenerate thesis Fig 4 2.
+
+fn main() {
+    let args = hupc_bench::parse_args();
+    let tables = hupc_bench::exp::fig_4_2::run(args.quick);
+    hupc_bench::report::emit(&args, &tables);
+}

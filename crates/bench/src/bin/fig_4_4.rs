@@ -1,0 +1,7 @@
+//! Regenerate thesis Fig 4 4.
+
+fn main() {
+    let args = hupc_bench::parse_args();
+    let tables = hupc_bench::exp::fig_4_4::run(args.quick);
+    hupc_bench::report::emit(&args, &tables);
+}

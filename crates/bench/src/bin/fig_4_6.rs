@@ -1,0 +1,7 @@
+//! Regenerate thesis Fig 4 6.
+
+fn main() {
+    let args = hupc_bench::parse_args();
+    let tables = hupc_bench::exp::fig_4_6::run(args.quick);
+    hupc_bench::report::emit(&args, &tables);
+}

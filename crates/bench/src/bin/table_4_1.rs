@@ -1,0 +1,7 @@
+//! Regenerate thesis Table 4 1.
+
+fn main() {
+    let args = hupc_bench::parse_args();
+    let tables = hupc_bench::exp::table_4_1::run(args.quick);
+    hupc_bench::report::emit(&args, &tables);
+}

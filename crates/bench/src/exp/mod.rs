@@ -1,0 +1,12 @@
+//! One module per table / figure of the thesis' evaluation.
+
+pub mod ablation;
+pub mod fig_3_3;
+pub mod fig_3_4;
+pub mod fig_4_2;
+pub mod fig_4_4;
+pub mod fig_4_5;
+pub mod fig_4_6;
+pub mod table_3_1;
+pub mod table_3_2;
+pub mod table_4_1;

@@ -1,0 +1,138 @@
+//! Table rendering and CSV output for the experiment binaries.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Command-line options shared by every experiment binary.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    pub csv: Option<PathBuf>,
+    pub quick: bool,
+}
+
+/// Parse `--csv <path>` and `--quick` from `std::env::args`.
+pub fn parse_args() -> Args {
+    let mut out = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--csv" => {
+                out.csv = Some(PathBuf::from(
+                    it.next().expect("--csv requires a path argument"),
+                ));
+            }
+            "--quick" => out.quick = true,
+            "--help" | "-h" => {
+                eprintln!("usage: <experiment> [--quick] [--csv <path>]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}
+
+/// A titled table with aligned text rendering and CSV dumping.
+#[derive(Clone, Debug)]
+pub struct Table {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render to stdout with aligned columns.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        println!("\n== {} ==", self.title);
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    s.push_str(&format!("{:<w$}", c, w = widths[i]));
+                } else {
+                    s.push_str(&format!("  {:>w$}", c, w = widths[i]));
+                }
+            }
+            s
+        };
+        println!("{}", line(&self.headers));
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        for r in &self.rows {
+            println!("{}", line(r));
+        }
+    }
+
+    /// CSV rendering (title as a comment line).
+    pub fn to_csv(&self) -> String {
+        let mut s = format!("# {}\n{}\n", self.title, self.headers.join(","));
+        for r in &self.rows {
+            s.push_str(&r.join(","));
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Print all tables; append them to the CSV file if requested.
+pub fn emit(args: &Args, tables: &[Table]) {
+    for t in tables {
+        t.print();
+    }
+    if let Some(path) = &args.csv {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .unwrap_or_else(|e| panic!("cannot open {path:?}: {e}"));
+        for t in tables {
+            writeln!(f, "{}", t.to_csv()).expect("csv write failed");
+        }
+        eprintln!("[csv appended to {}]", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_and_dumps() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["x".into(), "1.5".into()]);
+        t.row(vec!["long-label".into(), "2".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("# demo\na,b\n"));
+        assert!(csv.contains("x,1.5"));
+        t.print(); // should not panic
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

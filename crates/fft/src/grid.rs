@@ -1,0 +1,284 @@
+//! Problem classes, deterministic initial data, evolution factors, checksum
+//! probes, and a sequential reference implementation.
+
+use crate::kernel::{Complex, Direction, FftPlan};
+
+/// NAS FT problem classes (grid + iteration count).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FtClass {
+    /// 64×64×64, 6 iterations.
+    S,
+    /// 128×128×32, 6 iterations.
+    W,
+    /// 256×256×128, 6 iterations.
+    A,
+    /// 512×256×256, 20 iterations — the thesis' evaluation size.
+    B,
+    /// Arbitrary power-of-two grid (tests).
+    Custom {
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        iters: usize,
+    },
+}
+
+impl FtClass {
+    pub fn dims(&self) -> (usize, usize, usize) {
+        match self {
+            FtClass::S => (64, 64, 64),
+            FtClass::W => (128, 128, 32),
+            FtClass::A => (256, 256, 128),
+            FtClass::B => (512, 256, 256),
+            FtClass::Custom { nx, ny, nz, .. } => (*nx, *ny, *nz),
+        }
+    }
+
+    pub fn iters(&self) -> usize {
+        match self {
+            FtClass::S | FtClass::W | FtClass::A => 6,
+            FtClass::B => 20,
+            FtClass::Custom { iters, .. } => *iters,
+        }
+    }
+
+    pub fn name(&self) -> String {
+        match self {
+            FtClass::S => "S".into(),
+            FtClass::W => "W".into(),
+            FtClass::A => "A".into(),
+            FtClass::B => "B".into(),
+            FtClass::Custom { nx, ny, nz, .. } => format!("{nx}x{ny}x{nz}"),
+        }
+    }
+
+    pub fn grid(&self) -> Grid {
+        let (nx, ny, nz) = self.dims();
+        Grid { nx, ny, nz }
+    }
+}
+
+/// The 3-D grid: dimension sizes and the derived index/physics helpers.
+/// Spatial layout convention: `x` fastest, flat index `x + nx·(y + ny·z)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Grid {
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+}
+
+/// NAS FT's diffusion constant.
+const ALPHA: f64 = 1.0e-6;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl Grid {
+    pub fn total(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Deterministic pseudorandom initial value at a global coordinate —
+    /// independent of the decomposition, so every variant starts from the
+    /// identical field (NAS seeds a serial RNG; we seed by coordinate).
+    pub fn initial(&self, x: usize, y: usize, z: usize) -> Complex {
+        let flat = (x + self.nx * (y + self.ny * z)) as u64;
+        let h1 = splitmix64(flat.wrapping_mul(2) + 1);
+        let h2 = splitmix64(flat.wrapping_mul(2) + 2);
+        // uniforms in (0,1) like NAS' vranlc stream
+        let re = (h1 >> 11) as f64 / (1u64 << 53) as f64;
+        let im = (h2 >> 11) as f64 / (1u64 << 53) as f64;
+        Complex::new(re, im)
+    }
+
+    /// Signed (wrapped) frequency of index `k` in a dimension of size `n`.
+    fn wrapped(k: usize, n: usize) -> f64 {
+        if k <= n / 2 {
+            k as f64
+        } else {
+            k as f64 - n as f64
+        }
+    }
+
+    /// Evolution factor `exp(-4π²·α·t·|k̄|²)` for frequency-space index
+    /// `(kx, ky, kz)` at timestep `t`.
+    pub fn evolve_factor(&self, t: usize, kx: usize, ky: usize, kz: usize) -> f64 {
+        let fx = Self::wrapped(kx, self.nx);
+        let fy = Self::wrapped(ky, self.ny);
+        let fz = Self::wrapped(kz, self.nz);
+        let k2 = fx * fx + fy * fy + fz * fz;
+        (-4.0 * std::f64::consts::PI * std::f64::consts::PI * ALPHA * t as f64 * k2).exp()
+    }
+
+    /// The 1024 spatial probe coordinates whose sum is the per-iteration
+    /// checksum (deterministic, decomposition-independent).
+    pub fn checksum_coords(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        (1..=1024usize).map(move |j| {
+            let x = (3 * j) % self.nx;
+            let y = (5 * j) % self.ny;
+            let z = (7 * j) % self.nz;
+            (x, y, z)
+        })
+    }
+}
+
+/// Sequential reference FT: full 3-D FFT + evolve + inverse per iteration;
+/// returns the per-iteration checksums. Oracle for the distributed variants
+/// (small grids only — O(total) memory ×3).
+pub fn seq_checksums(class: FtClass) -> Vec<Complex> {
+    let g = class.grid();
+    let (nx, ny, nz) = (g.nx, g.ny, g.nz);
+    let mut u0: Vec<Complex> = Vec::with_capacity(g.total());
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                u0.push(g.initial(x, y, z));
+            }
+        }
+    }
+    fft3d(&mut u0, &g, Direction::Forward);
+    let mut sums = Vec::with_capacity(class.iters());
+    let mut ut = vec![Complex::ZERO; g.total()];
+    for t in 1..=class.iters() {
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let i = x + nx * (y + ny * z);
+                    ut[i] = u0[i].scale(g.evolve_factor(t, x, y, z));
+                }
+            }
+        }
+        fft3d(&mut ut, &g, Direction::Inverse);
+        let mut s = Complex::ZERO;
+        for (x, y, z) in g.checksum_coords() {
+            s = s + ut[x + nx * (y + ny * z)];
+        }
+        sums.push(s);
+    }
+    sums
+}
+
+/// In-place 3-D FFT on a spatially-laid-out array (x fastest).
+pub fn fft3d(data: &mut [Complex], g: &Grid, dir: Direction) {
+    let (nx, ny, nz) = (g.nx, g.ny, g.nz);
+    assert_eq!(data.len(), g.total());
+    let px = FftPlan::new(nx);
+    let py = FftPlan::new(ny);
+    let pz = FftPlan::new(nz);
+    // x rows (contiguous)
+    for row in data.chunks_exact_mut(nx) {
+        px.transform(row, dir);
+    }
+    // y columns (stride nx within each z plane)
+    let mut buf = vec![Complex::ZERO; ny];
+    for z in 0..nz {
+        for x in 0..nx {
+            for (yy, b) in buf.iter_mut().enumerate() {
+                *b = data[x + nx * (yy + ny * z)];
+            }
+            py.transform(&mut buf, dir);
+            for (yy, b) in buf.iter().enumerate() {
+                data[x + nx * (yy + ny * z)] = *b;
+            }
+        }
+    }
+    // z pencils (stride nx*ny)
+    let mut buf = vec![Complex::ZERO; nz];
+    for y in 0..ny {
+        for x in 0..nx {
+            for (zz, b) in buf.iter_mut().enumerate() {
+                *b = data[x + nx * (y + ny * zz)];
+            }
+            pz.transform(&mut buf, dir);
+            for (zz, b) in buf.iter().enumerate() {
+                data[x + nx * (y + ny * zz)] = *b;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_dims() {
+        assert_eq!(FtClass::B.dims(), (512, 256, 256));
+        assert_eq!(FtClass::B.iters(), 20);
+        assert_eq!(FtClass::S.dims(), (64, 64, 64));
+    }
+
+    #[test]
+    fn initial_is_coordinate_deterministic() {
+        let g = FtClass::Custom { nx: 8, ny: 8, nz: 8, iters: 1 }.grid();
+        assert_eq!(g.initial(1, 2, 3), g.initial(1, 2, 3));
+        assert_ne!(g.initial(1, 2, 3), g.initial(3, 2, 1));
+        let v = g.initial(7, 7, 7);
+        assert!(v.re > 0.0 && v.re < 1.0 && v.im > 0.0 && v.im < 1.0);
+    }
+
+    #[test]
+    fn evolve_factor_decays_high_frequencies() {
+        let g = FtClass::S.grid();
+        let low = g.evolve_factor(5, 1, 0, 0);
+        let high = g.evolve_factor(5, 32, 32, 32);
+        assert!(low > high);
+        assert!(high > 0.0 && low <= 1.0);
+        assert_eq!(g.evolve_factor(0, 9, 9, 9), 1.0);
+    }
+
+    #[test]
+    fn wrapped_frequencies_are_symmetric() {
+        let g = FtClass::Custom { nx: 8, ny: 8, nz: 8, iters: 1 }.grid();
+        // k and n-k have the same |k̄|² in each dimension
+        assert_eq!(g.evolve_factor(3, 1, 0, 0), g.evolve_factor(3, 7, 0, 0));
+        assert_eq!(g.evolve_factor(3, 0, 2, 0), g.evolve_factor(3, 0, 6, 0));
+    }
+
+    #[test]
+    fn fft3d_round_trip() {
+        let class = FtClass::Custom { nx: 8, ny: 4, nz: 16, iters: 1 };
+        let g = class.grid();
+        let mut data: Vec<Complex> = (0..g.total())
+            .map(|i| {
+                let z = i / (g.nx * g.ny);
+                let r = i % (g.nx * g.ny);
+                g.initial(r % g.nx, r / g.nx, z)
+            })
+            .collect();
+        let orig = data.clone();
+        fft3d(&mut data, &g, Direction::Forward);
+        fft3d(&mut data, &g, Direction::Inverse);
+        for (a, b) in data.iter().zip(&orig) {
+            assert!((a.re - b.re).abs() < 1e-10 && (a.im - b.im).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn seq_checksums_are_stable() {
+        let class = FtClass::Custom { nx: 8, ny: 8, nz: 8, iters: 3 };
+        let a = seq_checksums(class);
+        let b = seq_checksums(class);
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+        // successive iterations differ (the field evolves)
+        assert_ne!(a[0].re.to_bits(), a[2].re.to_bits());
+    }
+
+    #[test]
+    fn checksum_probes_are_in_bounds() {
+        let g = FtClass::W.grid();
+        for (x, y, z) in g.checksum_coords() {
+            assert!(x < g.nx && y < g.ny && z < g.nz);
+        }
+        assert_eq!(g.checksum_coords().count(), 1024);
+    }
+}

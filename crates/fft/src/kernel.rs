@@ -1,0 +1,310 @@
+//! Complex double-precision FFT, written from scratch (the FFTW 3.2.2
+//! stand-in). Iterative radix-2 decimation-in-time with precomputed twiddle
+//! tables; power-of-two lengths only — all NAS FT grid dimensions are
+//! powers of two.
+
+/// A complex number as `[re, im]` (bit-compatible with the PGAS element
+/// `[f64; 2]`).
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Complex {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl Complex {
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Complex {
+        Complex { re, im }
+    }
+
+    #[inline]
+    pub fn scale(self, s: f64) -> Complex {
+        Complex::new(self.re * s, self.im * s)
+    }
+
+    #[inline]
+    pub fn conj(self) -> Complex {
+        Complex::new(self.re, -self.im)
+    }
+
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Pack into a PGAS element.
+    #[inline]
+    pub fn to_pair(self) -> [f64; 2] {
+        [self.re, self.im]
+    }
+
+    /// Unpack from a PGAS element.
+    #[inline]
+    pub fn from_pair(p: [f64; 2]) -> Complex {
+        Complex::new(p[0], p[1])
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+
+    #[inline]
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+
+    #[inline]
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+
+    #[inline]
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+/// Transform direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    Forward,
+    Inverse,
+}
+
+/// A reusable FFT plan for one power-of-two length (twiddles + bit-reversal
+/// table, computed once — the "FFTW plan" analogue).
+#[derive(Clone, Debug)]
+pub struct FftPlan {
+    n: usize,
+    /// Twiddles for the forward direction, per stage, flattened.
+    twiddles: Vec<Complex>,
+    bitrev: Vec<u32>,
+}
+
+impl FftPlan {
+    pub fn new(n: usize) -> FftPlan {
+        assert!(n.is_power_of_two() && n >= 1, "FFT length must be 2^k, got {n}");
+        let bits = n.trailing_zeros();
+        let bitrev = (0..n as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits.max(1)))
+            .collect::<Vec<_>>();
+        // Per-stage twiddles: stage with half-size m has m factors.
+        let mut twiddles = Vec::with_capacity(n.saturating_sub(1));
+        let mut m = 1;
+        while m < n {
+            for j in 0..m {
+                let ang = -std::f64::consts::PI * j as f64 / m as f64;
+                twiddles.push(Complex::new(ang.cos(), ang.sin()));
+            }
+            m <<= 1;
+        }
+        FftPlan {
+            n,
+            twiddles,
+            bitrev,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place transform. The inverse is unscaled-conjugate followed by a
+    /// 1/n normalization, so `inverse(forward(x)) == x`.
+    pub fn transform(&self, data: &mut [Complex], dir: Direction) {
+        assert_eq!(data.len(), self.n, "plan is for length {}", self.n);
+        let n = self.n;
+        if n == 1 {
+            return;
+        }
+        if dir == Direction::Inverse {
+            for v in data.iter_mut() {
+                *v = v.conj();
+            }
+        }
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.bitrev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        // Butterflies.
+        let mut m = 1;
+        let mut tw_base = 0;
+        while m < n {
+            for k in (0..n).step_by(2 * m) {
+                for j in 0..m {
+                    let w = self.twiddles[tw_base + j];
+                    let t = data[k + j + m] * w;
+                    let u = data[k + j];
+                    data[k + j] = u + t;
+                    data[k + j + m] = u - t;
+                }
+            }
+            tw_base += m;
+            m <<= 1;
+        }
+        if dir == Direction::Inverse {
+            let s = 1.0 / n as f64;
+            for v in data.iter_mut() {
+                *v = v.conj().scale(s);
+            }
+        }
+    }
+
+    /// Model flop count of one transform (the standard 5·n·log₂n).
+    pub fn flops(&self) -> f64 {
+        5.0 * self.n as f64 * (self.n as f64).log2()
+    }
+}
+
+/// Naive O(n²) DFT (test oracle).
+pub fn dft_reference(input: &[Complex], dir: Direction) -> Vec<Complex> {
+    let n = input.len();
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let mut out = vec![Complex::ZERO; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex::ZERO;
+        for (j, &x) in input.iter().enumerate() {
+            let ang = sign * 2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+            acc = acc + x * Complex::new(ang.cos(), ang.sin());
+        }
+        if dir == Direction::Inverse {
+            acc = acc.scale(1.0 / n as f64);
+        }
+        *o = acc;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex, tol: f64) -> bool {
+        (a.re - b.re).abs() < tol && (a.im - b.im).abs() < tol
+    }
+
+    fn random_signal(n: usize, seed: u64) -> Vec<Complex> {
+        let mut s = seed | 1;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let re = ((s >> 33) as f64) / (1u64 << 31) as f64 - 1.0;
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let im = ((s >> 33) as f64) / (1u64 << 31) as f64 - 1.0;
+                Complex::new(re, im)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 16, 64] {
+            let x = random_signal(n, 7);
+            let want = dft_reference(&x, Direction::Forward);
+            let mut got = x.clone();
+            FftPlan::new(n).transform(&mut got, Direction::Forward);
+            for (g, w) in got.iter().zip(&want) {
+                assert!(close(*g, *w, 1e-9), "n={n}: {g:?} vs {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_recovers_signal() {
+        for n in [2usize, 32, 256, 1024] {
+            let plan = FftPlan::new(n);
+            let x = random_signal(n, n as u64);
+            let mut y = x.clone();
+            plan.transform(&mut y, Direction::Forward);
+            plan.transform(&mut y, Direction::Inverse);
+            for (a, b) in x.iter().zip(&y) {
+                assert!(close(*a, *b, 1e-10), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn impulse_gives_flat_spectrum() {
+        let n = 16;
+        let mut x = vec![Complex::ZERO; n];
+        x[0] = Complex::new(1.0, 0.0);
+        FftPlan::new(n).transform(&mut x, Direction::Forward);
+        for v in &x {
+            assert!(close(*v, Complex::new(1.0, 0.0), 1e-12));
+        }
+    }
+
+    #[test]
+    fn constant_gives_impulse() {
+        let n = 8;
+        let mut x = vec![Complex::new(2.0, 0.0); n];
+        FftPlan::new(n).transform(&mut x, Direction::Forward);
+        assert!(close(x[0], Complex::new(16.0, 0.0), 1e-12));
+        for v in &x[1..] {
+            assert!(close(*v, Complex::ZERO, 1e-12));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_conserved() {
+        let n = 128;
+        let x = random_signal(n, 99);
+        let mut y = x.clone();
+        FftPlan::new(n).transform(&mut y, Direction::Forward);
+        let ex: f64 = x.iter().map(|v| v.norm_sq()).sum();
+        let ey: f64 = y.iter().map(|v| v.norm_sq()).sum::<f64>() / n as f64;
+        assert!((ex - ey).abs() / ex < 1e-12);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 64;
+        let x = random_signal(n, 1);
+        let y = random_signal(n, 2);
+        let plan = FftPlan::new(n);
+        let mut fx = x.clone();
+        let mut fy = y.clone();
+        plan.transform(&mut fx, Direction::Forward);
+        plan.transform(&mut fy, Direction::Forward);
+        let mut xy: Vec<Complex> = x.iter().zip(&y).map(|(&a, &b)| a + b).collect();
+        plan.transform(&mut xy, Direction::Forward);
+        for i in 0..n {
+            assert!(close(xy[i], fx[i] + fy[i], 1e-9));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2^k")]
+    fn non_power_of_two_rejected() {
+        FftPlan::new(12);
+    }
+
+    #[test]
+    fn flop_model() {
+        let p = FftPlan::new(1024);
+        assert_eq!(p.flops(), 5.0 * 1024.0 * 10.0);
+    }
+}

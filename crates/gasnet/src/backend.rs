@@ -1,0 +1,157 @@
+//! Backend layout: how UPC threads map onto processes and pthreads, and
+//! which access path a (source, destination) thread pair takes.
+//!
+//! Thesis §3.1: Berkeley UPC offers two shared-memory mechanisms — running
+//! several UPC threads as pthreads of one process, and PSHM (cross-mapped
+//! segments between processes of a supernode). They are orthogonal and
+//! composable; both turn intra-node communication into plain memory copies,
+//! but only processes get a network connection each.
+
+/// How the UPC threads of each node are grouped into OS processes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Backend {
+    /// UPC threads per process (1 ⇒ pure process backend; `threads_per_node`
+    /// ⇒ pure pthread backend).
+    pub pthreads_per_proc: usize,
+    /// Whether PSHM cross-maps segments between co-located processes.
+    pub pshm: bool,
+}
+
+impl Backend {
+    /// Pure process backend, one UPC thread per process.
+    pub fn processes() -> Self {
+        Backend {
+            pthreads_per_proc: 1,
+            pshm: false,
+        }
+    }
+
+    /// Process backend with PSHM (the Berkeley UPC default the thesis uses).
+    pub fn processes_pshm() -> Self {
+        Backend {
+            pthreads_per_proc: 1,
+            pshm: true,
+        }
+    }
+
+    /// Pure pthread backend: every thread of a node in one process.
+    /// `per_node` is the node's thread count.
+    pub fn pthreads(per_node: usize) -> Self {
+        Backend {
+            pthreads_per_proc: per_node,
+            pshm: false,
+        }
+    }
+
+    /// Mixed layout: `pthreads_per_proc` threads per process, with PSHM
+    /// between the processes (thesis Fig 3.4's `pthr+PSHM` columns).
+    pub fn mixed(pthreads_per_proc: usize, pshm: bool) -> Self {
+        assert!(pthreads_per_proc >= 1);
+        Backend {
+            pthreads_per_proc,
+            pshm,
+        }
+    }
+
+    /// Process index (within its node) of the thread with node-local index
+    /// `local_rank`.
+    pub fn proc_of(&self, local_rank: usize) -> usize {
+        local_rank / self.pthreads_per_proc
+    }
+
+    /// Number of processes on a node running `per_node` threads.
+    pub fn procs_per_node(&self, per_node: usize) -> usize {
+        per_node.div_ceil(self.pthreads_per_proc)
+    }
+}
+
+/// The path an access from one UPC thread to another's segment takes.
+/// Ordered cheapest-first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AccessPath {
+    /// Destination is the caller's own segment.
+    Local,
+    /// Same process (pthread siblings): direct load/store.
+    SameProcess,
+    /// Same supernode, different process, PSHM-mapped: direct copy through
+    /// the cross-mapped segment (small per-call overhead).
+    Pshm,
+    /// Same node but no shared memory: loop back through the network API
+    /// (bounce-buffered copy, full software overhead).
+    Loopback,
+    /// Different node: through the fabric.
+    Network,
+}
+
+impl Backend {
+    /// Classify the access path between two threads given their node-local
+    /// ranks and whether they share a node.
+    pub fn path(
+        &self,
+        same_node: bool,
+        src_local: usize,
+        dst_local: usize,
+        same_thread: bool,
+    ) -> AccessPath {
+        if same_thread {
+            return AccessPath::Local;
+        }
+        if !same_node {
+            return AccessPath::Network;
+        }
+        if self.proc_of(src_local) == self.proc_of(dst_local) {
+            AccessPath::SameProcess
+        } else if self.pshm {
+            AccessPath::Pshm
+        } else {
+            AccessPath::Loopback
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_backend_paths() {
+        let b = Backend::processes();
+        assert_eq!(b.path(true, 0, 0, true), AccessPath::Local);
+        assert_eq!(b.path(true, 0, 1, false), AccessPath::Loopback);
+        assert_eq!(b.path(false, 0, 1, false), AccessPath::Network);
+    }
+
+    #[test]
+    fn pshm_upgrades_intranode() {
+        let b = Backend::processes_pshm();
+        assert_eq!(b.path(true, 0, 1, false), AccessPath::Pshm);
+        assert_eq!(b.path(false, 0, 1, false), AccessPath::Network);
+    }
+
+    #[test]
+    fn pthread_backend_shares_process() {
+        let b = Backend::pthreads(8);
+        assert_eq!(b.path(true, 0, 7, false), AccessPath::SameProcess);
+        assert_eq!(b.proc_of(0), 0);
+        assert_eq!(b.proc_of(7), 0);
+        assert_eq!(b.procs_per_node(8), 1);
+    }
+
+    #[test]
+    fn mixed_layout_4x2() {
+        // 8 threads/node as 4 processes × 2 pthreads, with PSHM
+        let b = Backend::mixed(2, true);
+        assert_eq!(b.procs_per_node(8), 4);
+        assert_eq!(b.path(true, 0, 1, false), AccessPath::SameProcess);
+        assert_eq!(b.path(true, 0, 2, false), AccessPath::Pshm);
+        assert_eq!(b.proc_of(5), 2);
+    }
+
+    #[test]
+    fn paths_are_ordered_cheapest_first() {
+        assert!(AccessPath::Local < AccessPath::SameProcess);
+        assert!(AccessPath::SameProcess < AccessPath::Pshm);
+        assert!(AccessPath::Pshm < AccessPath::Loopback);
+        assert!(AccessPath::Loopback < AccessPath::Network);
+    }
+}

@@ -1,0 +1,32 @@
+//! `hupc-gasnet` — the communication runtime underneath the UPC layer,
+//! modeled after GASNet (the Berkeley UPC compilation target).
+//!
+//! It provides registered **segments** (one per UPC thread, holding real
+//! data), one-sided blocking and non-blocking **put/get**, split-phase
+//! **barriers**, **teams**, and — crucially for Chapter 3 of the thesis —
+//! the *shared-memory-aware backends*:
+//!
+//! * process backend (optionally with **PSHM**, inter-Process SHared
+//!   Memory: cross-mapped segments inside a supernode);
+//! * pthread backend (several UPC threads per process share the address
+//!   space *and one network connection*);
+//! * mixed process × pthread layouts (the `8(4*2)`-style configurations of
+//!   thesis Fig 3.4).
+//!
+//! Every operation moves real bytes immediately and charges modeled virtual
+//! time for when those bytes *would* be visible; correct UPC programs
+//! synchronize before reading, so the early copy is unobservable.
+//!
+//! Data granularity is 8-byte **words** (`u64`): every transfer length and
+//! offset counts words, which keeps the whole stack safe-Rust while matching
+//! the `double`/`double complex`-dominated workloads of the evaluation.
+
+mod backend;
+mod runtime;
+mod segment;
+mod team;
+
+pub use backend::{AccessPath, Backend};
+pub use runtime::{Gasnet, GasnetConfig, Handle, Overheads};
+pub use segment::{word, Segment, WORD_BYTES};
+pub use team::Team;

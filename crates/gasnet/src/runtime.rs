@@ -1,0 +1,781 @@
+//! The GASNet-like runtime: segments + one-sided communication with
+//! backend-aware cost paths.
+
+use std::sync::Arc;
+
+use hupc_net::{Conduit, Connection, CpuModel, Fabric, MemoryModel};
+use hupc_sim::{time, BarrierId, CompletionId, Ctx, Simulation, SimCell, Time};
+use hupc_topo::{BindPolicy, Machine, MachineSpec, NodeId, Placement, PuId, SocketId};
+
+use crate::backend::{AccessPath, Backend};
+use crate::segment::{Segment, WORD_BYTES};
+
+/// Software overhead constants of the runtime (ns-scale knobs the thesis'
+/// Chapter 3 results turn on).
+#[derive(Clone, Copy, Debug)]
+pub struct Overheads {
+    /// Function-call + address-check cost of a shared access that resolves
+    /// to the same process (pthread sibling).
+    pub same_process_call: Time,
+    /// Per-call cost of a PSHM cross-mapped copy.
+    pub pshm_call: Time,
+    /// Extra software cost of an intra-node message that loops back through
+    /// the network API (no shared memory): send+receive bounce.
+    pub loopback_per_message: Time,
+    /// Cost of translating a pointer-to-shared to an address on every
+    /// element access (the overhead `bupc_cast` privatization removes;
+    /// drives Table 3.1).
+    pub ptr_translation: Time,
+    /// Base latency of an all-threads barrier round (per dissemination
+    /// stage).
+    pub barrier_stage: Time,
+}
+
+impl Default for Overheads {
+    fn default() -> Self {
+        Overheads {
+            same_process_call: time::ns(60),
+            pshm_call: time::ns(180),
+            loopback_per_message: time::ns(1_400),
+            ptr_translation: time::ns(17),
+            barrier_stage: time::ns(500),
+        }
+    }
+}
+
+/// Everything needed to bring up a runtime instance.
+#[derive(Clone, Debug)]
+pub struct GasnetConfig {
+    pub machine: MachineSpec,
+    /// Total UPC threads.
+    pub n_threads: usize,
+    /// Nodes the threads are spread over.
+    pub nodes_used: usize,
+    pub bind: BindPolicy,
+    pub backend: Backend,
+    pub conduit: Conduit,
+    /// Initial segment size per thread, in words.
+    pub segment_words: usize,
+    /// Override the runtime software-overhead constants (None = defaults).
+    /// The bench harness uses this for the "+cast" manual-optimization
+    /// variants of thesis Fig 3.4, which zero the intra-node per-call costs.
+    pub overheads: Option<Overheads>,
+}
+
+impl GasnetConfig {
+    /// A reasonable default for tests: small machine, processes+PSHM, QDR.
+    pub fn test_default(n_threads: usize, nodes_used: usize) -> Self {
+        GasnetConfig {
+            machine: MachineSpec::small_test(nodes_used.max(1)),
+            n_threads,
+            nodes_used,
+            bind: BindPolicy::PackedCores,
+            backend: Backend::processes_pshm(),
+            conduit: Conduit::ib_qdr(),
+            segment_words: 1 << 16,
+            overheads: None,
+        }
+    }
+}
+
+/// Non-blocking operation handle.
+#[derive(Clone, Copy, Debug)]
+pub struct Handle {
+    /// Source buffer reusable (injection finished).
+    pub local: CompletionId,
+    /// Data visible at the destination.
+    pub remote: CompletionId,
+}
+
+/// The runtime. One instance per simulated job; shared by all actors via
+/// `Arc`.
+pub struct Gasnet {
+    machine: Machine,
+    placement: Placement,
+    backend: Backend,
+    conduit_kind: &'static str,
+    fabric: Fabric,
+    mem: MemoryModel,
+    cpu: SimCell<CpuModel>,
+    overheads: Overheads,
+    conns: Vec<Connection>,
+    segments: Vec<Segment>,
+    barrier_all: BarrierId,
+    outstanding: Vec<SimCell<Vec<CompletionId>>>,
+    n_threads: usize,
+    nodes_used: usize,
+    // Split-phase (notify/wait) barrier state.
+    split_arrived: SimCell<usize>,
+    split_gen: SimCell<u64>,
+    split_cond: hupc_sim::CondId,
+    split_target: Vec<SimCell<u64>>,
+}
+
+impl Gasnet {
+    /// Build the runtime on a simulation (call before spawning actors).
+    pub fn new(sim: &mut Simulation, cfg: GasnetConfig) -> Arc<Gasnet> {
+        let machine = Machine::new(cfg.machine.clone());
+        let placement = Placement::build(&machine, cfg.n_threads, cfg.nodes_used, cfg.bind);
+        let mut k = sim.kernel();
+        let mut fabric = Fabric::build(&mut k, cfg.conduit.clone(), cfg.machine.nodes);
+        // Network-progress oversubscription: when a node hosts more polling
+        // endpoints (processes) than physical cores — the SMT-density
+        // configurations of thesis Figs 4.4–4.6 — the adapter is driven
+        // below line rate (§4.3.3.3: processes "swamp the runtime and
+        // communication system").
+        {
+            let per_node = placement.threads_per_node();
+            let procs = cfg.backend.procs_per_node(per_node);
+            let cores = machine.spec().cores_per_node();
+            let oversub = procs.saturating_sub(cores) as f64 / cores as f64;
+            fabric.set_nic_factor(1.0 + 0.5 * oversub);
+        }
+        let mem = MemoryModel::build(&mut k, &machine);
+        let mut cpu = CpuModel::build(&mut k, &machine);
+        for t in 0..cfg.n_threads {
+            cpu.occupy(&machine, placement.thread_pu(t));
+        }
+        // One connection per process; pthread siblings share.
+        let per_node = placement.threads_per_node();
+        let mut proc_conns: std::collections::HashMap<(usize, usize), Connection> =
+            std::collections::HashMap::new();
+        let mut conns = Vec::with_capacity(cfg.n_threads);
+        for t in 0..cfg.n_threads {
+            let node = placement.thread_node(&machine, t);
+            let local = t % per_node;
+            let proc = cfg.backend.proc_of(local);
+            let conn = *proc_conns
+                .entry((node.0, proc))
+                .or_insert_with(|| fabric.open_connection(&mut k, node));
+            conns.push(conn);
+        }
+        let barrier_all = k.new_barrier(cfg.n_threads);
+        let split_cond = k.new_cond();
+        drop(k);
+        let segments = (0..cfg.n_threads)
+            .map(|_| Segment::new(cfg.segment_words))
+            .collect();
+        let outstanding = (0..cfg.n_threads).map(|_| SimCell::default()).collect();
+        let kind = match cfg.conduit.kind {
+            hupc_net::ConduitKind::IbQdr => "ibv-qdr",
+            hupc_net::ConduitKind::IbDdr => "ibv-ddr",
+            hupc_net::ConduitKind::GigE => "udp-gige",
+        };
+        Arc::new(Gasnet {
+            machine,
+            placement,
+            backend: cfg.backend,
+            conduit_kind: kind,
+            fabric,
+            mem,
+            cpu: SimCell::new(cpu),
+            overheads: cfg.overheads.unwrap_or_default(),
+            conns,
+            segments,
+            barrier_all,
+            outstanding,
+            n_threads: cfg.n_threads,
+            nodes_used: cfg.nodes_used,
+            split_arrived: SimCell::new(0),
+            split_gen: SimCell::new(0),
+            split_cond,
+            split_target: (0..cfg.n_threads).map(|_| SimCell::new(0)).collect(),
+        })
+    }
+
+    // ----- introspection ----------------------------------------------------
+
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    pub fn nodes_used(&self) -> usize {
+        self.nodes_used
+    }
+
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    pub fn conduit_name(&self) -> &'static str {
+        self.conduit_kind
+    }
+
+    pub fn overheads(&self) -> &Overheads {
+        &self.overheads
+    }
+
+    pub fn mem(&self) -> &MemoryModel {
+        &self.mem
+    }
+
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Node of a UPC thread.
+    pub fn thread_node(&self, t: usize) -> NodeId {
+        self.placement.thread_node(&self.machine, t)
+    }
+
+    /// Bound PU of a UPC thread.
+    pub fn thread_pu(&self, t: usize) -> PuId {
+        self.placement.thread_pu(t)
+    }
+
+    /// Home socket of a thread's segment (first-touch by the bound thread).
+    pub fn segment_home(&self, t: usize) -> SocketId {
+        self.placement.thread_socket(&self.machine, t)
+    }
+
+    /// Access path between two threads (thesis §3.1's castability query:
+    /// anything better than [`AccessPath::Network`]/`Loopback` is
+    /// memory-reachable).
+    pub fn path(&self, src: usize, dst: usize) -> AccessPath {
+        let per_node = self.placement.threads_per_node();
+        let same_node = self.thread_node(src) == self.thread_node(dst);
+        self.backend
+            .path(same_node, src % per_node, dst % per_node, src == dst)
+    }
+
+    /// Whether `dst`'s segment can be cast to a local pointer from `src`
+    /// (the `bupc_cast` castability extension of §3.2.1).
+    pub fn castable(&self, src: usize, dst: usize) -> bool {
+        matches!(
+            self.path(src, dst),
+            AccessPath::Local | AccessPath::SameProcess | AccessPath::Pshm
+        )
+    }
+
+    /// Segment of a thread.
+    pub fn segment(&self, t: usize) -> &Segment {
+        &self.segments[t]
+    }
+
+    // ----- compute charging ---------------------------------------------------
+
+    /// Charge `work` at full core speed on `pu` (sub-thread aware: the
+    /// occupancy recorded via [`Gasnet::occupy_pu`] sets the SMT factor).
+    pub fn compute_on(&self, ctx: &Ctx, pu: PuId, work: Time) {
+        self.cpu.with(|c| c.compute(ctx, &self.machine, pu, work));
+    }
+
+    /// Charge `flops` at `efficiency` of peak on `pu`.
+    pub fn compute_flops_on(&self, ctx: &Ctx, pu: PuId, flops: f64, efficiency: f64) {
+        self.cpu
+            .with(|c| c.compute_flops(ctx, &self.machine, pu, flops, efficiency));
+    }
+
+    /// Charge `work` on the bound PU of UPC thread `me`.
+    pub fn compute(&self, ctx: &Ctx, me: usize, work: Time) {
+        self.compute_on(ctx, self.thread_pu(me), work);
+    }
+
+    /// Record a sub-thread binding (affects SMT factors).
+    pub fn occupy_pu(&self, pu: PuId) {
+        self.cpu.with_mut(|c| c.occupy(&self.machine, pu));
+    }
+
+    /// Release a sub-thread binding.
+    pub fn release_pu(&self, pu: PuId) {
+        self.cpu.with_mut(|c| c.release(&self.machine, pu));
+    }
+
+    /// Stream `bytes` of memory traffic from thread `me` against `home`.
+    pub fn mem_stream(&self, ctx: &Ctx, me: usize, home: SocketId, bytes: usize) {
+        self.mem
+            .stream(ctx, &self.machine, self.thread_pu(me), home, bytes);
+    }
+
+    /// Stream `bytes` of memory traffic from an explicit PU (sub-threads).
+    pub fn mem_stream_on(&self, ctx: &Ctx, pu: PuId, home: SocketId, bytes: usize) {
+        self.mem.stream(ctx, &self.machine, pu, home, bytes);
+    }
+
+    // ----- one-sided communication --------------------------------------------
+
+    /// Non-blocking put of `data` into `dst`'s segment at word offset
+    /// `dst_off`. Bytes move immediately; the returned handle's completions
+    /// fire at the modeled times.
+    pub fn put_nb(
+        &self,
+        ctx: &Ctx,
+        me: usize,
+        dst: usize,
+        dst_off: usize,
+        data: &[u64],
+    ) -> Handle {
+        self.segments[dst].write(dst_off, data);
+        self.charge_transfer(ctx, me, dst, data.len() * WORD_BYTES)
+    }
+
+    /// Blocking put: returns when the data is visible at the destination
+    /// (`upc_memput` semantics).
+    pub fn put(&self, ctx: &Ctx, me: usize, dst: usize, dst_off: usize, data: &[u64]) {
+        let h = self.put_nb(ctx, me, dst, dst_off, data);
+        self.wait_sync(ctx, me, h);
+    }
+
+    /// Non-blocking get from `src`'s segment at `src_off` into `out`.
+    /// Bytes are copied immediately; wait on the handle before *using* them
+    /// to respect modeled timing.
+    pub fn get_nb(
+        &self,
+        ctx: &Ctx,
+        me: usize,
+        src: usize,
+        src_off: usize,
+        out: &mut [u64],
+    ) -> Handle {
+        self.segments[src].read(src_off, out);
+        let bytes = out.len() * WORD_BYTES;
+        match self.path(me, src) {
+            AccessPath::Network => {
+                // Request + RDMA read response.
+                ctx.advance(self.fabric.send_overhead());
+                let (req_done, data_here) = ctx.with_kernel(|k| {
+                    self.fabric
+                        .rdma_get(k, self.conns[me], self.thread_node(src), bytes)
+                });
+                self.make_handle(ctx, me, req_done, data_here)
+            }
+            path => self.charge_local_copy(ctx, me, src, bytes, path),
+        }
+    }
+
+    /// Blocking get (`upc_memget` semantics).
+    pub fn get(&self, ctx: &Ctx, me: usize, src: usize, src_off: usize, out: &mut [u64]) {
+        let h = self.get_nb(ctx, me, src, src_off, out);
+        self.wait_sync(ctx, me, h);
+    }
+
+    /// Segment-to-segment memcpy (`upc_memcpy`): word range from
+    /// (`src`,`src_off`) to (`dst`,`dst_off`), charged as a get+put pipeline
+    /// from `me`'s point of view.
+    #[allow(clippy::too_many_arguments)]
+    pub fn memcpy_nb(
+        &self,
+        ctx: &Ctx,
+        me: usize,
+        dst: usize,
+        dst_off: usize,
+        src: usize,
+        src_off: usize,
+        len: usize,
+    ) -> Handle {
+        Segment::copy_between(&self.segments[src], src_off, &self.segments[dst], dst_off, len);
+        let bytes = len * WORD_BYTES;
+        // Dominant cost: whichever leg leaves the initiator's node.
+        let src_path = self.path(me, src);
+        let dst_path = self.path(me, dst);
+        if dst_path == AccessPath::Network {
+            self.charge_transfer(ctx, me, dst, bytes)
+        } else if src_path == AccessPath::Network {
+            ctx.advance(self.fabric.send_overhead());
+            let (a, b) = ctx.with_kernel(|k| {
+                self.fabric
+                    .rdma_get(k, self.conns[me], self.thread_node(src), bytes)
+            });
+            self.make_handle(ctx, me, a, b)
+        } else {
+            let worst = src_path.max(dst_path);
+            self.charge_local_copy(ctx, me, dst, bytes, worst)
+        }
+    }
+
+    /// Blocking memcpy.
+    #[allow(clippy::too_many_arguments)]
+    pub fn memcpy(
+        &self,
+        ctx: &Ctx,
+        me: usize,
+        dst: usize,
+        dst_off: usize,
+        src: usize,
+        src_off: usize,
+        len: usize,
+    ) {
+        let h = self.memcpy_nb(ctx, me, dst, dst_off, src, src_off, len);
+        self.wait_sync(ctx, me, h);
+    }
+
+    /// Charge the cost of moving `bytes` from `me` to `dst` without touching
+    /// segment data — the timing primitive layered protocols (e.g. the MPI
+    /// baseline's two-sided messages) build on.
+    pub fn transfer_nb(&self, ctx: &Ctx, me: usize, dst: usize, bytes: usize) -> Handle {
+        self.charge_transfer(ctx, me, dst, bytes)
+    }
+
+    /// Charge the transfer cost of `bytes` from `me` to `dst` and build a
+    /// handle (data already moved).
+    fn charge_transfer(&self, ctx: &Ctx, me: usize, dst: usize, bytes: usize) -> Handle {
+        match self.path(me, dst) {
+            AccessPath::Network => {
+                ctx.advance(self.fabric.send_overhead());
+                let (local_t, remote_t) = ctx.with_kernel(|k| {
+                    self.fabric
+                        .inject(k, self.conns[me], self.thread_node(dst), bytes)
+                });
+                self.make_handle(ctx, me, local_t, remote_t)
+            }
+            path => self.charge_local_copy(ctx, me, dst, bytes, path),
+        }
+    }
+
+    /// Intra-node copy charge along `path`; returns the handle.
+    fn charge_local_copy(
+        &self,
+        ctx: &Ctx,
+        me: usize,
+        peer: usize,
+        bytes: usize,
+        path: AccessPath,
+    ) -> Handle {
+        let (overhead, copies) = match path {
+            AccessPath::Local => (0, 1),
+            AccessPath::SameProcess => (self.overheads.same_process_call, 1),
+            AccessPath::Pshm => (self.overheads.pshm_call, 1),
+            AccessPath::Loopback => (self.overheads.loopback_per_message, 2),
+            AccessPath::Network => unreachable!("handled by caller"),
+        };
+        ctx.advance(overhead);
+        let pu = self.thread_pu(me);
+        let my_home = self.segment_home(me);
+        let peer_home = self.segment_home(peer);
+        let done = ctx.with_kernel(|k| {
+            // Without shared memory the message loops back through the
+            // network API, occupying the node's connection and NIC — the
+            // contention PSHM/pthreads eliminate (thesis §3.1 / Fig 3.4).
+            let mut t = if path == AccessPath::Loopback {
+                self.fabric.inject_loopback(k, self.conns[me], bytes)
+            } else {
+                k.now()
+            };
+            for _ in 0..copies {
+                t = self
+                    .mem
+                    .copy_after(k, &self.machine, pu, my_home, peer_home, bytes, t);
+            }
+            t
+        });
+        self.make_handle(ctx, me, done, done)
+    }
+
+    fn make_handle(&self, ctx: &Ctx, me: usize, local_t: Time, remote_t: Time) -> Handle {
+        let h = ctx.with_kernel(|k| {
+            let local = k.new_completion();
+            let remote = k.new_completion();
+            k.complete_at(local_t, local);
+            k.complete_at(remote_t, remote);
+            Handle { local, remote }
+        });
+        self.outstanding[me].with_mut(|v| v.push(h.remote));
+        h
+    }
+
+    // ----- synchronization ------------------------------------------------------
+
+    /// Wait until the source buffer of `h` is reusable.
+    pub fn wait_local(&self, ctx: &Ctx, h: Handle) {
+        ctx.wait(h.local);
+    }
+
+    /// Wait until `h` is fully complete (`upc_waitsync`).
+    pub fn wait_sync(&self, ctx: &Ctx, me: usize, h: Handle) {
+        ctx.wait(h.remote);
+        self.outstanding[me].with_mut(|v| v.retain(|&c| c != h.remote));
+    }
+
+    /// Poll for completion (`upc_trysync`).
+    pub fn try_sync(&self, ctx: &Ctx, me: usize, h: Handle) -> bool {
+        if ctx.test(h.remote) {
+            self.outstanding[me].with_mut(|v| v.retain(|&c| c != h.remote));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drain all outstanding non-blocking operations issued by `me`.
+    pub fn quiesce(&self, ctx: &Ctx, me: usize) {
+        let pending = self.outstanding[me].with_mut(std::mem::take);
+        for c in pending {
+            ctx.wait(c);
+        }
+    }
+
+    /// Full-job barrier (`upc_barrier`): drains outstanding ops, then a
+    /// dissemination barrier whose release cost scales with log₂(nodes).
+    pub fn barrier(&self, ctx: &Ctx, me: usize) {
+        self.quiesce(ctx, me);
+        ctx.barrier_wait_cost(self.barrier_all, self.barrier_cost());
+    }
+
+    /// Split-phase barrier, arrival half (`upc_notify`): signals this
+    /// thread's arrival and returns immediately. Outstanding non-blocking
+    /// operations are drained first (UPC's barrier memory semantics).
+    pub fn barrier_notify(&self, ctx: &Ctx, me: usize) {
+        self.quiesce(ctx, me);
+        ctx.advance(self.overheads.barrier_stage); // initiation cost
+        self.split_target[me].with_mut(|t| *t = self.split_gen.get() + 1);
+        let arrived = self.split_arrived.with_mut(|a| {
+            *a += 1;
+            *a
+        });
+        if arrived == self.n_threads {
+            self.split_arrived.set(0);
+            self.split_gen.with_mut(|g| *g += 1);
+            ctx.cond_notify_all(self.split_cond);
+        }
+    }
+
+    /// Split-phase barrier, completion half (`upc_wait`): blocks until the
+    /// phase this thread notified for has completed. Panics if called
+    /// without a preceding [`Gasnet::barrier_notify`].
+    pub fn barrier_wait_phase(&self, ctx: &Ctx, me: usize) {
+        let target = self.split_target[me].get();
+        assert!(target > 0, "upc_wait without a matching upc_notify");
+        while self.split_gen.get() < target {
+            ctx.cond_wait(self.split_cond);
+        }
+        ctx.advance(self.barrier_cost()); // release propagation
+    }
+
+    /// Modeled release cost of the all-threads barrier.
+    pub fn barrier_cost(&self) -> Time {
+        let stages = (self.nodes_used.max(2) as f64).log2().ceil() as u64;
+        let intra = self.overheads.barrier_stage;
+        if self.nodes_used > 1 {
+            intra + stages * (self.fabric.conduit().wire_latency + self.overheads.barrier_stage)
+        } else {
+            intra
+        }
+    }
+}
+
+impl std::fmt::Debug for Gasnet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gasnet")
+            .field("threads", &self.n_threads)
+            .field("nodes", &self.nodes_used)
+            .field("backend", &self.backend)
+            .field("conduit", &self.conduit_kind)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    fn launch<F>(cfg: GasnetConfig, body: F) -> hupc_sim::SimulationStats
+    where
+        F: Fn(&Ctx, &Gasnet, usize) + Send + Sync + 'static,
+    {
+        let mut sim = Simulation::new();
+        let gn = Gasnet::new(&mut sim, cfg);
+        let body = Arc::new(body);
+        for t in 0..gn.n_threads() {
+            let gn = Arc::clone(&gn);
+            let body = Arc::clone(&body);
+            sim.spawn(format!("upc{t}"), move |ctx| body(ctx, &gn, t));
+        }
+        sim.run()
+    }
+
+    #[test]
+    fn put_moves_data_and_time() {
+        let cfg = GasnetConfig::test_default(4, 2);
+        launch(cfg, |ctx, gn, me| {
+            if me == 0 {
+                gn.put(ctx, 0, 3, 10, &[7, 8, 9]);
+                assert!(ctx.now() > 0);
+            }
+            gn.barrier(ctx, me);
+            if me == 3 {
+                assert_eq!(gn.segment(3).read_word(10), 7);
+                assert_eq!(gn.segment(3).read_word(12), 9);
+            }
+        });
+    }
+
+    #[test]
+    fn get_round_trips() {
+        let cfg = GasnetConfig::test_default(4, 2);
+        launch(cfg, |ctx, gn, me| {
+            gn.segment(me).write_word(0, me as u64 + 100);
+            gn.barrier(ctx, me);
+            let peer = (me + 1) % 4;
+            let mut out = [0u64];
+            gn.get(ctx, me, peer, 0, &mut out);
+            assert_eq!(out[0], peer as u64 + 100);
+        });
+    }
+
+    #[test]
+    fn remote_put_slower_than_local_put() {
+        let cfg = GasnetConfig::test_default(4, 2);
+        let times = Arc::new(Mutex::new(Vec::new()));
+        let t2 = Arc::clone(&times);
+        launch(cfg, move |ctx, gn, me| {
+            if me == 0 {
+                let data = vec![1u64; 1024];
+                let t0 = ctx.now();
+                gn.put(ctx, 0, 1, 0, &data); // same node (threads 0,1 on node 0)
+                let t1 = ctx.now();
+                gn.put(ctx, 0, 2, 0, &data); // remote node
+                let t2_ = ctx.now();
+                t2.lock().unwrap().push((t1 - t0, t2_ - t1));
+            }
+            gn.barrier(ctx, me);
+        });
+        let v = times.lock().unwrap();
+        let (local, remote) = v[0];
+        assert!(remote > local, "remote {remote} vs local {local}");
+    }
+
+    #[test]
+    fn paths_match_layout() {
+        let mut cfg = GasnetConfig::test_default(8, 2);
+        cfg.backend = Backend::processes_pshm();
+        let mut sim = Simulation::new();
+        let gn = Gasnet::new(&mut sim, cfg);
+        // 4 threads per node
+        assert_eq!(gn.path(0, 0), AccessPath::Local);
+        assert_eq!(gn.path(0, 1), AccessPath::Pshm);
+        assert_eq!(gn.path(0, 4), AccessPath::Network);
+        assert!(gn.castable(0, 1));
+        assert!(!gn.castable(0, 4));
+    }
+
+    #[test]
+    fn pthread_backend_shares_connection_and_process() {
+        let mut cfg = GasnetConfig::test_default(8, 2);
+        cfg.backend = Backend::pthreads(4);
+        let mut sim = Simulation::new();
+        let gn = Gasnet::new(&mut sim, cfg);
+        assert_eq!(gn.path(0, 3), AccessPath::SameProcess);
+        assert_eq!(gn.conns[0], gn.conns[3]);
+        assert_ne!(gn.conns[0], gn.conns[4]);
+    }
+
+    #[test]
+    fn loopback_is_most_expensive_intranode_path() {
+        // Compare intra-node put cost: plain processes vs PSHM vs pthreads.
+        fn intranode_put_time(backend: Backend) -> Time {
+            let mut cfg = GasnetConfig::test_default(4, 1);
+            cfg.backend = backend;
+            let out = Arc::new(Mutex::new(0));
+            let o2 = Arc::clone(&out);
+            launch(cfg, move |ctx, gn, me| {
+                if me == 0 {
+                    let data = vec![0u64; 4096];
+                    let t0 = ctx.now();
+                    gn.put(ctx, 0, 1, 0, &data);
+                    *o2.lock().unwrap() = ctx.now() - t0;
+                }
+                gn.barrier(ctx, me);
+            });
+            let v = *out.lock().unwrap();
+            v
+        }
+        let plain = intranode_put_time(Backend::processes());
+        let pshm = intranode_put_time(Backend::processes_pshm());
+        let pthr = intranode_put_time(Backend::pthreads(4));
+        assert!(plain > pshm, "loopback {plain} vs pshm {pshm}");
+        assert!(pshm > pthr, "pshm {pshm} vs pthreads {pthr}");
+    }
+
+    #[test]
+    fn nonblocking_overlap_beats_blocking() {
+        fn run(nb: bool) -> Time {
+            let cfg = GasnetConfig::test_default(4, 2);
+            let out = Arc::new(Mutex::new(0));
+            let o2 = Arc::clone(&out);
+            launch(cfg, move |ctx, gn, me| {
+                if me == 0 {
+                    let data = vec![0u64; 1 << 14];
+                    let t0 = ctx.now();
+                    if nb {
+                        let hs: Vec<Handle> = (0..4)
+                            .map(|i| gn.put_nb(ctx, 0, 2, i << 14, &data))
+                            .collect();
+                        for h in hs {
+                            gn.wait_sync(ctx, 0, h);
+                        }
+                    } else {
+                        for i in 0..4 {
+                            gn.put(ctx, 0, 2, i << 14, &data);
+                        }
+                    }
+                    *o2.lock().unwrap() = ctx.now() - t0;
+                }
+                gn.barrier(ctx, me);
+            });
+            let v = *out.lock().unwrap();
+            v
+        }
+        // Pipelining across connection/NIC/wire stages shortens the total.
+        assert!(run(true) < run(false));
+    }
+
+    #[test]
+    fn barrier_synchronizes_and_drains() {
+        let cfg = GasnetConfig::test_default(4, 2);
+        launch(cfg, |ctx, gn, me| {
+            if me == 1 {
+                let data = vec![3u64; 2048];
+                let _ = gn.put_nb(ctx, 1, 2, 0, &data); // deliberately un-waited
+            }
+            gn.barrier(ctx, me);
+            // After the barrier everyone observes the same virtual time
+            // ordering and the put has fully completed.
+            if me == 2 {
+                assert_eq!(gn.segment(2).read_word(2047), 3);
+            }
+        });
+    }
+
+    #[test]
+    fn split_phase_barrier_overlaps_work() {
+        let cfg = GasnetConfig::test_default(4, 2);
+        launch(cfg, |ctx, gn, me| {
+            gn.segment(me).write_word(0, me as u64 + 1);
+            gn.barrier_notify(ctx, me);
+            // Overlappable local work between notify and wait.
+            ctx.advance(hupc_sim::time::us(me as u64 * 10));
+            gn.barrier_wait_phase(ctx, me);
+            // After wait, everyone's pre-notify writes are visible.
+            for t in 0..4 {
+                assert_eq!(gn.segment(t).read_word(0), t as u64 + 1);
+            }
+            // Reusable: a second phase works.
+            gn.barrier_notify(ctx, me);
+            gn.barrier_wait_phase(ctx, me);
+        });
+    }
+
+    #[test]
+    fn memcpy_third_party() {
+        let cfg = GasnetConfig::test_default(4, 2);
+        launch(cfg, |ctx, gn, me| {
+            gn.segment(me).write_word(5, 40 + me as u64);
+            gn.barrier(ctx, me);
+            if me == 0 {
+                // copy from thread 1's segment to thread 2's segment
+                gn.memcpy(ctx, 0, 2, 77, 1, 5, 1);
+            }
+            gn.barrier(ctx, me);
+            assert_eq!(gn.segment(2).read_word(77), 41);
+        });
+    }
+}

@@ -1,0 +1,177 @@
+//! Teams: named subsets of UPC threads with their own barrier, modeled
+//! after the (then-unreleased) GASNet team extension the thesis discusses in
+//! §3.2.1. `hupc-groups` builds its topology-driven thread groups on top.
+
+use std::sync::Arc;
+
+use hupc_sim::{BarrierId, Ctx, Time};
+
+use crate::runtime::Gasnet;
+
+/// A subset of UPC threads acting as a collective unit.
+pub struct Team {
+    gasnet: Arc<Gasnet>,
+    members: Vec<usize>,
+    barrier: BarrierId,
+}
+
+impl Team {
+    /// Create a team over `members` (UPC thread ids, distinct). Must be
+    /// called before the simulation runs or from a context with kernel
+    /// access; takes the simulation kernel through the `Gasnet`'s machinery.
+    pub fn new(
+        kernel: &mut hupc_sim::Kernel,
+        gasnet: Arc<Gasnet>,
+        mut members: Vec<usize>,
+    ) -> Team {
+        assert!(!members.is_empty(), "team needs at least one member");
+        members.sort_unstable();
+        members.dedup();
+        for &m in &members {
+            assert!(m < gasnet.n_threads(), "member {m} out of range");
+        }
+        let barrier = kernel.new_barrier(members.len());
+        Team {
+            gasnet,
+            members,
+            barrier,
+        }
+    }
+
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Members in rank order.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Team rank of a UPC thread, if it belongs.
+    pub fn rank_of(&self, thread: usize) -> Option<usize> {
+        self.members.binary_search(&thread).ok()
+    }
+
+    /// UPC thread id of a team rank.
+    pub fn thread_at(&self, rank: usize) -> usize {
+        self.members[rank]
+    }
+
+    /// Whether every member pair shares memory (castable): the team spans a
+    /// single supernode.
+    pub fn is_shared_memory(&self) -> bool {
+        let first = self.members[0];
+        self.members.iter().all(|&m| self.gasnet.castable(first, m))
+    }
+
+    /// Barrier release cost: cheap for intra-node teams, dissemination over
+    /// nodes otherwise.
+    fn barrier_cost(&self) -> Time {
+        let nodes: std::collections::HashSet<_> = self
+            .members
+            .iter()
+            .map(|&m| self.gasnet.thread_node(m))
+            .collect();
+        let oh = self.gasnet.overheads().barrier_stage;
+        if nodes.len() <= 1 {
+            oh
+        } else {
+            let stages = (nodes.len() as f64).log2().ceil() as u64;
+            oh + stages * (self.gasnet.fabric().conduit().wire_latency + oh)
+        }
+    }
+
+    /// Team barrier; caller must be a member.
+    pub fn barrier(&self, ctx: &Ctx, me: usize) {
+        assert!(
+            self.rank_of(me).is_some(),
+            "thread {me} is not a member of this team"
+        );
+        self.gasnet.quiesce(ctx, me);
+        ctx.barrier_wait_cost(self.barrier, self.barrier_cost());
+    }
+}
+
+impl std::fmt::Debug for Team {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Team")
+            .field("members", &self.members)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::GasnetConfig;
+    use hupc_sim::Simulation;
+
+    #[test]
+    fn ranks_and_membership() {
+        let mut sim = Simulation::new();
+        let gn = Gasnet::new(&mut sim, GasnetConfig::test_default(8, 2));
+        let team = Team::new(&mut sim.kernel(), Arc::clone(&gn), vec![6, 2, 4, 2]);
+        assert_eq!(team.size(), 3);
+        assert_eq!(team.members(), &[2, 4, 6]);
+        assert_eq!(team.rank_of(4), Some(1));
+        assert_eq!(team.rank_of(3), None);
+        assert_eq!(team.thread_at(2), 6);
+    }
+
+    #[test]
+    fn shared_memory_detection() {
+        let mut sim = Simulation::new();
+        // 8 threads over 2 nodes → threads 0..4 on node 0
+        let gn = Gasnet::new(&mut sim, GasnetConfig::test_default(8, 2));
+        let k = &mut sim.kernel();
+        let intra = Team::new(k, Arc::clone(&gn), vec![0, 1, 2, 3]);
+        let cross = Team::new(k, Arc::clone(&gn), vec![3, 4]);
+        assert!(intra.is_shared_memory());
+        assert!(!cross.is_shared_memory());
+    }
+
+    #[test]
+    fn team_barrier_only_synchronizes_members() {
+        let mut sim = Simulation::new();
+        let gn = Gasnet::new(&mut sim, GasnetConfig::test_default(4, 1));
+        let team = Arc::new(Team::new(
+            &mut sim.kernel(),
+            Arc::clone(&gn),
+            vec![0, 1],
+        ));
+        let done = Arc::new(hupc_sim::SimCell::new([0u64; 4]));
+        for t in 0..4 {
+            let team = Arc::clone(&team);
+            let gn = Arc::clone(&gn);
+            let done = Arc::clone(&done);
+            sim.spawn(format!("upc{t}"), move |ctx| {
+                if t < 2 {
+                    ctx.advance(hupc_sim::time::us(t as u64 * 3 + 1));
+                    team.barrier(ctx, t);
+                    done.with_mut(|d| d[t] = ctx.now());
+                } else {
+                    // non-members never touch the team barrier
+                    done.with_mut(|d| d[t] = 1);
+                }
+                let _ = gn; // keep alive
+            });
+        }
+        sim.run();
+        let d = done.get();
+        assert_eq!(d[0], d[1]); // members released together
+        assert_eq!(d[2], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a member")]
+    fn non_member_barrier_panics() {
+        let mut sim = Simulation::new();
+        let gn = Gasnet::new(&mut sim, GasnetConfig::test_default(4, 1));
+        let team = Arc::new(Team::new(&mut sim.kernel(), Arc::clone(&gn), vec![0, 1]));
+        sim.spawn("upc3", move |ctx| {
+            team.barrier(ctx, 3);
+        });
+        sim.run();
+    }
+}

@@ -1,0 +1,164 @@
+//! A single thread group: membership, group barrier, pre-cast access.
+
+use std::sync::Arc;
+
+use hupc_gasnet::Team;
+use hupc_sim::Kernel;
+use hupc_upc::{PgasElem, SharedArray, Upc, UpcRuntime};
+
+/// A subset of UPC threads cooperating as a unit.
+pub struct ThreadGroup {
+    team: Team,
+    /// Whether every member pair is castable (the group spans one
+    /// shared-memory domain) — computed once, like the §3.3 setup phase.
+    shared_memory: bool,
+}
+
+impl ThreadGroup {
+    /// Build a group over `members`. Pre-verifies castability so members can
+    /// use the zero-overhead access paths without per-access checks.
+    pub fn new(kernel: &mut Kernel, rt: &Arc<UpcRuntime>, members: Vec<usize>) -> Self {
+        let team = Team::new(kernel, Arc::clone(rt.gasnet()), members);
+        let shared_memory = team.is_shared_memory();
+        ThreadGroup {
+            team,
+            shared_memory,
+        }
+    }
+
+    /// Members, ascending.
+    pub fn members(&self) -> &[usize] {
+        self.team.members()
+    }
+
+    /// Group size.
+    pub fn size(&self) -> usize {
+        self.team.size()
+    }
+
+    /// Rank of a UPC thread within the group, if a member.
+    pub fn rank_of(&self, thread: usize) -> Option<usize> {
+        self.team.rank_of(thread)
+    }
+
+    /// UPC thread at a group rank.
+    pub fn thread_at(&self, rank: usize) -> usize {
+        self.team.thread_at(rank)
+    }
+
+    /// Lowest-numbered member (the group leader by convention).
+    pub fn leader(&self) -> usize {
+        self.team.members()[0]
+    }
+
+    /// Whether the group's pointer table is usable (all members castable).
+    pub fn has_cast_table(&self) -> bool {
+        self.shared_memory
+    }
+
+    /// Group barrier.
+    pub fn barrier(&self, upc: &Upc<'_>) {
+        upc.flush_access_costs();
+        self.team.barrier(upc.ctx(), upc.mythread());
+    }
+
+    /// Members other than `me`, in ring order starting after `me`.
+    pub fn peers_of(&self, me: usize) -> Vec<usize> {
+        let rank = self
+            .rank_of(me)
+            .unwrap_or_else(|| panic!("thread {me} not in group"));
+        let n = self.size();
+        (1..n).map(|d| self.thread_at((rank + d) % n)).collect()
+    }
+
+    /// Access `member`'s chunk of `array` through the pre-cast pointer
+    /// table: zero software overhead (the caller charges memory traffic when
+    /// timed). Panics if the group has no cast table.
+    pub fn with_member_words<T: PgasElem, R>(
+        &self,
+        upc: &Upc<'_>,
+        array: &SharedArray<T>,
+        member: usize,
+        f: impl FnOnce(&mut [u64]) -> R,
+    ) -> R {
+        assert!(
+            self.shared_memory,
+            "group spans multiple shared-memory domains; no cast table"
+        );
+        debug_assert!(self.rank_of(member).is_some(), "{member} not in group");
+        array.with_cast_words(upc, member, f)
+    }
+}
+
+impl std::fmt::Debug for ThreadGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadGroup")
+            .field("members", &self.members())
+            .field("cast_table", &self.shared_memory)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hupc_upc::{UpcConfig, UpcJob};
+
+    #[test]
+    fn ring_peers() {
+        let job = UpcJob::new(UpcConfig::test_default(8, 2));
+        let g = ThreadGroup::new(&mut job.kernel(), job.runtime(), vec![0, 1, 2, 3]);
+        assert_eq!(g.peers_of(1), vec![2, 3, 0]);
+        assert_eq!(g.leader(), 0);
+        assert_eq!(g.size(), 4);
+    }
+
+    #[test]
+    fn cast_table_presence_follows_topology() {
+        let job = UpcJob::new(UpcConfig::test_default(8, 2));
+        let k = &mut job.kernel();
+        let intra = ThreadGroup::new(k, job.runtime(), vec![0, 1, 2, 3]);
+        let cross = ThreadGroup::new(k, job.runtime(), vec![0, 4]);
+        assert!(intra.has_cast_table());
+        assert!(!cross.has_cast_table());
+    }
+
+    #[test]
+    fn member_access_through_cast_table() {
+        let job = UpcJob::new(UpcConfig::test_default(4, 1));
+        let a = job.alloc_shared::<u64>(16, 4);
+        let g = Arc::new(ThreadGroup::new(
+            &mut job.kernel(),
+            job.runtime(),
+            (0..4).collect(),
+        ));
+        job.run(move |upc| {
+            let me = upc.mythread();
+            // each thread writes into its ring-successor's chunk directly
+            let succ = g.peers_of(me)[0];
+            g.with_member_words(&upc, &a, succ, |w| w[0] = 1000 + me as u64);
+            g.barrier(&upc);
+            a.with_local_words(&upc, |w| {
+                let pred = g.peers_of(me)[2]; // ring predecessor in a 4-group
+                assert_eq!(w[0], 1000 + pred as u64);
+            });
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "no cast table")]
+    fn cross_node_member_access_panics() {
+        let job = UpcJob::new(UpcConfig::test_default(4, 2));
+        let a = job.alloc_shared::<u64>(8, 2);
+        let g = Arc::new(ThreadGroup::new(
+            &mut job.kernel(),
+            job.runtime(),
+            (0..4).collect(),
+        ));
+        job.run(move |upc| {
+            if upc.mythread() == 0 {
+                g.with_member_words(&upc, &a, 2, |_| {});
+            }
+        });
+    }
+}

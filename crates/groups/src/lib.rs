@@ -1,0 +1,19 @@
+//! `hupc-groups` — the thesis' first approach to hierarchical parallelism
+//! (Chapter 3): **cooperative thread groups**.
+//!
+//! Threads are grouped by hardware locality (node, socket, or custom sets);
+//! a group over a shared-memory domain carries a *pointer table* of pre-cast
+//! local views into every member's partition, eliminating the per-access
+//! pointer-to-shared translation (§3.3: "Local pointer tables are also
+//! created at each thread … direct access to the collective thread group
+//! shared memory without expensive shared pointer casting").
+//!
+//! Groups stay within UPC's single-level SPMD model — they organize the
+//! existing `THREADS`, unlike the nested sub-threads of Chapter 4 — and may
+//! overlap (a thread can hold a node group and a socket group at once).
+
+mod group;
+mod set;
+
+pub use group::ThreadGroup;
+pub use set::{GroupLevel, GroupSet};

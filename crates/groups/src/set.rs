@@ -1,0 +1,180 @@
+//! Group sets: topology-driven partitions of all UPC threads.
+//!
+//! §3.2.1: "applications select the most appropriate thread grouping for the
+//! underlying system by querying the hardware attributes at runtime" —
+//! `GroupSet::partition` is that query + construction in one step. Sets at
+//! different levels may coexist (overlapping groups).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use hupc_sim::Kernel;
+use hupc_upc::UpcRuntime;
+
+use crate::group::ThreadGroup;
+
+/// Hardware level to partition by.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GroupLevel {
+    /// One group per cluster node (the SMP domain; the level UTS and the
+    /// STREAM study use).
+    Node,
+    /// One group per CPU socket (ccNUMA domain).
+    Socket,
+}
+
+/// A partition of all UPC threads into locality groups.
+pub struct GroupSet {
+    groups: Vec<Arc<ThreadGroup>>,
+    of_thread: Vec<usize>,
+    level: GroupLevel,
+}
+
+impl GroupSet {
+    /// Partition every thread of the job by `level`.
+    pub fn partition(kernel: &mut Kernel, rt: &Arc<UpcRuntime>, level: GroupLevel) -> Self {
+        let gasnet = rt.gasnet();
+        let machine = gasnet.machine();
+        let mut buckets: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for t in 0..gasnet.n_threads() {
+            let key = match level {
+                GroupLevel::Node => gasnet.thread_node(t).0,
+                GroupLevel::Socket => gasnet.placement().thread_socket(machine, t).0,
+            };
+            buckets.entry(key).or_default().push(t);
+        }
+        let mut groups = Vec::with_capacity(buckets.len());
+        let mut of_thread = vec![0usize; gasnet.n_threads()];
+        for (gi, (_, members)) in buckets.into_iter().enumerate() {
+            for &m in &members {
+                of_thread[m] = gi;
+            }
+            groups.push(Arc::new(ThreadGroup::new(kernel, rt, members)));
+        }
+        GroupSet {
+            groups,
+            of_thread,
+            level,
+        }
+    }
+
+    pub fn level(&self) -> GroupLevel {
+        self.level
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// The group containing `thread`.
+    pub fn group_of(&self, thread: usize) -> &Arc<ThreadGroup> {
+        &self.groups[self.of_thread[thread]]
+    }
+
+    /// Index of the group containing `thread`.
+    pub fn group_index_of(&self, thread: usize) -> usize {
+        self.of_thread[thread]
+    }
+
+    /// All groups.
+    pub fn groups(&self) -> &[Arc<ThreadGroup>] {
+        &self.groups
+    }
+
+    /// Threads *outside* `thread`'s group, ascending (remote-victim
+    /// candidates for hierarchical work stealing).
+    pub fn outsiders_of(&self, thread: usize) -> Vec<usize> {
+        let g = self.of_thread[thread];
+        (0..self.of_thread.len())
+            .filter(|&t| self.of_thread[t] != g)
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for GroupSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupSet")
+            .field("level", &self.level)
+            .field("groups", &self.groups.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hupc_upc::{UpcConfig, UpcJob};
+
+    #[test]
+    fn node_partition_covers_all_threads_once() {
+        let job = UpcJob::new(UpcConfig::test_default(8, 2));
+        let set = GroupSet::partition(&mut job.kernel(), job.runtime(), GroupLevel::Node);
+        assert_eq!(set.len(), 2);
+        let mut seen = vec![0; 8];
+        for g in set.groups() {
+            for &m in g.members() {
+                seen[m] += 1;
+            }
+        }
+        assert_eq!(seen, vec![1; 8]);
+        assert_eq!(set.group_of(0).members(), &[0, 1, 2, 3]);
+        assert_eq!(set.group_of(5).members(), &[4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn socket_partition_is_finer() {
+        // testbox: 2 sockets × 2 cores per node; 4 threads on 1 node
+        let job = UpcJob::new(UpcConfig::test_default(4, 1));
+        let set = GroupSet::partition(&mut job.kernel(), job.runtime(), GroupLevel::Socket);
+        assert_eq!(set.len(), 2);
+        for g in set.groups() {
+            assert_eq!(g.size(), 2);
+            assert!(g.has_cast_table());
+        }
+    }
+
+    #[test]
+    fn outsiders_complement_the_group() {
+        let job = UpcJob::new(UpcConfig::test_default(8, 2));
+        let set = GroupSet::partition(&mut job.kernel(), job.runtime(), GroupLevel::Node);
+        assert_eq!(set.outsiders_of(1), vec![4, 5, 6, 7]);
+        assert_eq!(set.outsiders_of(6), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn overlapping_levels_coexist() {
+        let job = UpcJob::new(UpcConfig::test_default(8, 2));
+        let k = &mut job.kernel();
+        let nodes = GroupSet::partition(k, job.runtime(), GroupLevel::Node);
+        let sockets = GroupSet::partition(k, job.runtime(), GroupLevel::Socket);
+        // thread 0's socket group is a subset of its node group
+        let ng: Vec<usize> = nodes.group_of(0).members().to_vec();
+        let sg: Vec<usize> = sockets.group_of(0).members().to_vec();
+        assert!(sg.iter().all(|m| ng.contains(m)));
+        assert!(sg.len() < ng.len());
+    }
+
+    #[test]
+    fn group_barrier_in_spmd_program() {
+        let job = UpcJob::new(UpcConfig::test_default(8, 2));
+        let set = Arc::new(GroupSet::partition(
+            &mut job.kernel(),
+            job.runtime(),
+            GroupLevel::Node,
+        ));
+        job.run(move |upc| {
+            let me = upc.mythread();
+            upc.ctx().advance(hupc_sim::time::us(me as u64));
+            let g = set.group_of(me);
+            g.barrier(&upc);
+            // group members released together: all at the max arrival of
+            // their own group (+ release cost), groups independent
+            let _ = g;
+        });
+    }
+}

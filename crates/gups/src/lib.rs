@@ -1,0 +1,27 @@
+//! `hupc-gups` — the Random Access (GUPS) benchmark with hierarchical
+//! update aggregation.
+//!
+//! Thesis §4.4 lists *Random Access* next to UTS as an application "written
+//! using simple data/task parallel abstractions" where "the thread group
+//! approach would fit better". This crate builds it: a distributed table of
+//! 64-bit words receives a stream of XOR updates at pseudorandom global
+//! indices, and the routing strategy is the experiment:
+//!
+//! * [`Routing::Direct`] — each update is a fine-grained remote
+//!   read-modify-write (the naive UPC program; GUPS-style unsynchronized,
+//!   so concurrent updates may race and the error rate is reported);
+//! * [`Routing::PerThread`] — updates are bucketed by owner thread and
+//!   shipped in bulk, each owner applying its own bucket locally
+//!   (conflict-free, software routing);
+//! * [`Routing::Hierarchical`] — the thread-group optimization: updates are
+//!   bucketed per destination *node*, only group leaders exchange buckets
+//!   over the network, and delivery inside the node goes through the
+//!   pre-cast group pointer tables — fewer, larger network messages.
+//!
+//! XOR updates commute, so the conflict-free variants must reproduce the
+//! serial reference table exactly; the direct variant reports the fraction
+//! of lost updates (the HPCC rules allow up to 1%).
+
+mod bench;
+
+pub use bench::{run_gups, GupsConfig, GupsResult, Routing};

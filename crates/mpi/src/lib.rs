@@ -1,0 +1,15 @@
+//! `hupc-mpi` — a minimal two-sided message-passing substrate on the same
+//! simulated platform, standing in for the OpenMPI baseline of the thesis'
+//! NAS FT comparison (Figs 4.5/4.6).
+//!
+//! It is deliberately small: ranks, eager `send`/`recv` with (source, tag)
+//! matching, `barrier`, an f64 sum `allreduce`, and — the part the
+//! comparison actually exercises — an **optimized `alltoall`** using the
+//! pairwise-exchange schedule real MPI libraries select for large messages.
+//! Two-sided messaging pays a receiver-side matching overhead a one-sided
+//! put does not, but the collective's schedule avoids incast; both effects
+//! are visible in the figures exactly as in the thesis.
+
+mod world;
+
+pub use world::{Mpi, MpiJob, MpiWorld};

@@ -1,0 +1,236 @@
+//! The fabric: per-node NIC queues and per-endpoint connections.
+//!
+//! A [`Connection`] is the software endpoint a message is injected through.
+//! The process backend creates one connection per UPC thread; the pthread
+//! backend one per node shared by all its threads — the single modeling
+//! decision behind the process-vs-pthread contrast of thesis §4.3.1.
+
+use hupc_sim::{Kernel, ResourceId, Time};
+use hupc_topo::NodeId;
+
+use crate::conduit::Conduit;
+
+/// A message-injection endpoint bound to a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Connection {
+    pub node: NodeId,
+    res: ResourceId,
+}
+
+/// The inter-node network: conduit parameters plus NIC resources.
+#[derive(Clone, Debug)]
+pub struct Fabric {
+    conduit: Conduit,
+    tx: Vec<ResourceId>,
+    rx: Vec<ResourceId>,
+    /// Effective-NIC slowdown from network-progress oversubscription
+    /// (≥ 1.0): when more polling endpoints than physical cores share a
+    /// node (SMT-density process runs), progress threads time-slice and the
+    /// adapter is driven below line rate. 1.0 = no penalty.
+    nic_factor: f64,
+}
+
+impl Fabric {
+    /// Register NIC resources for `nodes` nodes on the kernel.
+    pub fn build(kernel: &mut Kernel, conduit: Conduit, nodes: usize) -> Self {
+        let tx = (0..nodes)
+            .map(|n| kernel.new_resource(format!("nic-tx[{n}]")))
+            .collect();
+        let rx = (0..nodes)
+            .map(|n| kernel.new_resource(format!("nic-rx[{n}]")))
+            .collect();
+        Fabric {
+            conduit,
+            tx,
+            rx,
+            nic_factor: 1.0,
+        }
+    }
+
+    /// Set the progress-oversubscription factor (call before sharing).
+    pub fn set_nic_factor(&mut self, f: f64) {
+        assert!(f >= 1.0, "nic factor must be >= 1");
+        self.nic_factor = f;
+    }
+
+    /// Scaled NIC service time for `bytes`.
+    fn nic_service(&self, bytes: usize) -> hupc_sim::Time {
+        hupc_sim::time::from_secs_f64(
+            hupc_sim::time::as_secs_f64(self.conduit.nic_service(bytes)) * self.nic_factor,
+        )
+    }
+
+    pub fn conduit(&self) -> &Conduit {
+        &self.conduit
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.tx.len()
+    }
+
+    /// Open a new connection on `node` (one per process endpoint, or one per
+    /// node shared by a pthread backend).
+    pub fn open_connection(&self, kernel: &mut Kernel, node: NodeId) -> Connection {
+        assert!(node.0 < self.tx.len(), "node {} out of fabric", node.0);
+        let res = kernel.new_resource(format!("conn[n{}]", node.0));
+        Connection { node, res }
+    }
+
+    /// Sender-side CPU overhead per message (charge on the initiating actor
+    /// before calling [`Fabric::inject`]).
+    pub fn send_overhead(&self) -> Time {
+        self.conduit.send_overhead
+    }
+
+    /// Compute the delivery time of a `bytes`-long message injected now
+    /// through `conn` towards `dst`. Advances the fabric's resource queues;
+    /// does not block the caller (callers decide whether to wait on local or
+    /// remote completion).
+    ///
+    /// Returns `(local_complete, remote_complete)`: the source buffer is
+    /// reusable at `local_complete` (injection done); the data is visible at
+    /// the destination at `remote_complete`.
+    pub fn inject(
+        &self,
+        kernel: &mut Kernel,
+        conn: Connection,
+        dst: NodeId,
+        bytes: usize,
+    ) -> (Time, Time) {
+        assert_ne!(conn.node, dst, "fabric is for inter-node messages only");
+        let injected = kernel.acquire(conn.res, self.conduit.conn_service(bytes));
+        let on_wire = kernel.acquire_after(
+            self.tx[conn.node.0],
+            injected,
+            self.nic_service(bytes),
+        );
+        let arrived = on_wire + self.conduit.wire_latency;
+        let delivered =
+            kernel.acquire_after(self.rx[dst.0], arrived, self.nic_service(bytes));
+        (injected, delivered)
+    }
+
+    /// Intra-node message that loops back through the network API (the
+    /// no-PSHM process backend): it occupies the connection and both NIC
+    /// directions of the node — competing with genuine remote traffic —
+    /// but skips the wire.
+    pub fn inject_loopback(&self, kernel: &mut Kernel, conn: Connection, bytes: usize) -> Time {
+        let injected = kernel.acquire(conn.res, self.conduit.conn_service(bytes));
+        let through = kernel.acquire_after(
+            self.tx[conn.node.0],
+            injected,
+            self.nic_service(bytes),
+        );
+        kernel.acquire_after(self.rx[conn.node.0], through, self.nic_service(bytes))
+    }
+
+    /// One-sided RDMA read: a small request travels to `remote`, then
+    /// `bytes` flow back. The requester's connection accounts the injection
+    /// gap (its endpoint drives the transaction); `remote`'s tx NIC and the
+    /// requester's rx NIC carry the payload.
+    ///
+    /// Returns `(request_sent, data_delivered)`.
+    pub fn rdma_get(
+        &self,
+        kernel: &mut Kernel,
+        conn: Connection,
+        remote: NodeId,
+        bytes: usize,
+    ) -> (Time, Time) {
+        assert_ne!(conn.node, remote, "fabric is for inter-node messages only");
+        let req_sent = kernel.acquire(conn.res, self.conduit.conn_service(bytes));
+        let req_arrived = req_sent + self.conduit.wire_latency;
+        let on_wire =
+            kernel.acquire_after(self.tx[remote.0], req_arrived, self.nic_service(bytes));
+        let back = on_wire + self.conduit.wire_latency;
+        let delivered =
+            kernel.acquire_after(self.rx[conn.node.0], back, self.nic_service(bytes));
+        (req_sent, delivered)
+    }
+
+    /// Total bytes×time the tx NIC of `node` has been busy (utilization
+    /// reporting in the bench harness).
+    pub fn tx_busy(&self, kernel: &Kernel, node: NodeId) -> Time {
+        kernel.resource_busy_total(self.tx[node.0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hupc_sim::{time, Simulation};
+
+    #[test]
+    fn single_message_delivery_time() {
+        let mut sim = Simulation::new();
+        let mut k = sim.kernel();
+        let fab = Fabric::build(&mut k, Conduit::ib_qdr(), 2);
+        let conn = fab.open_connection(&mut k, NodeId(0));
+        let (_local, remote) = fab.inject(&mut k, conn, NodeId(1), 8);
+        let expected = fab.conduit().conn_service(8)
+            + fab.conduit().nic_service(8) // tx NIC
+            + fab.conduit().wire_latency
+            + fab.conduit().nic_service(8); // rx NIC
+        assert_eq!(remote, expected);
+    }
+
+    #[test]
+    fn shared_connection_serializes_injection() {
+        let mut sim = Simulation::new();
+        let mut k = sim.kernel();
+        let fab = Fabric::build(&mut k, Conduit::ib_qdr(), 2);
+        let conn = fab.open_connection(&mut k, NodeId(0));
+        let (l1, _) = fab.inject(&mut k, conn, NodeId(1), 1 << 20);
+        let (l2, _) = fab.inject(&mut k, conn, NodeId(1), 1 << 20);
+        // Second message queues behind the first on the connection.
+        assert!(l2 >= l1 * 2 - time::ns(1));
+    }
+
+    #[test]
+    fn separate_connections_share_only_the_nic() {
+        let mut sim = Simulation::new();
+        let mut k = sim.kernel();
+        let fab = Fabric::build(&mut k, Conduit::ib_qdr(), 2);
+        let c1 = fab.open_connection(&mut k, NodeId(0));
+        let c2 = fab.open_connection(&mut k, NodeId(0));
+        let bytes = 1 << 20;
+        let (i1, _) = fab.inject(&mut k, c1, NodeId(1), bytes);
+        let (i2, _) = fab.inject(&mut k, c2, NodeId(1), bytes);
+        // Both inject concurrently: i2 ≈ i1, not 2×i1.
+        assert_eq!(i1, i2);
+        // But the NIC serializes the wire transfer of the second message.
+        let (_, r2) = (i2, fab.tx_busy(&k, NodeId(0)));
+        assert_eq!(r2, fab.conduit().nic_service(bytes) * 2);
+    }
+
+    #[test]
+    fn aggregate_two_connections_beats_one() {
+        // Flood 8 mid-size messages through 1 vs 2 connections.
+        let bytes = 16 << 10;
+        let run = |nconn: usize| -> Time {
+            let mut sim = Simulation::new();
+            let mut k = sim.kernel();
+            let fab = Fabric::build(&mut k, Conduit::ib_qdr(), 2);
+            let conns: Vec<_> = (0..nconn)
+                .map(|_| fab.open_connection(&mut k, NodeId(0)))
+                .collect();
+            let mut last = 0;
+            for i in 0..8 {
+                let (_, r) = fab.inject(&mut k, conns[i % nconn], NodeId(1), bytes);
+                last = last.max(r);
+            }
+            last
+        };
+        assert!(run(2) < run(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "inter-node")]
+    fn same_node_injection_rejected() {
+        let mut sim = Simulation::new();
+        let mut k = sim.kernel();
+        let fab = Fabric::build(&mut k, Conduit::ib_qdr(), 2);
+        let conn = fab.open_connection(&mut k, NodeId(0));
+        fab.inject(&mut k, conn, NodeId(0), 8);
+    }
+}

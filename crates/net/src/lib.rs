@@ -1,0 +1,28 @@
+//! `hupc-net` — the platform performance model: network conduits, NIC and
+//! link resources, CPU cores and the NUMA memory system.
+//!
+//! This crate turns a [`hupc_topo::MachineSpec`] plus a [`Conduit`] into the
+//! set of FIFO queueing resources that `hupc-sim` charges virtual time
+//! against. It is the stand-in for the physical InfiniBand/GigE fabrics and
+//! Nehalem/Barcelona silicon of the thesis' two clusters:
+//!
+//! * [`Conduit`] — LogGP-style message cost parameters with presets for QDR
+//!   InfiniBand (*Lehman*), DDR InfiniBand and Gigabit Ethernet (*Pyramid*);
+//! * [`Fabric`] — per-node NIC injection/delivery queues and per-endpoint
+//!   *connections*. Processes own one connection per UPC thread; pthread
+//!   backends share one connection per node — the distinction behind the
+//!   multi-link microbenchmark (thesis Fig 4.2);
+//! * [`CpuModel`] — per-PU compute charging with a static SMT throughput
+//!   factor (two hardware threads share a core at ~1.15× aggregate);
+//! * [`MemoryModel`] — per-socket memory controllers with first-touch NUMA
+//!   homing and a remote-socket penalty factor.
+
+mod conduit;
+mod cpu;
+mod fabric;
+mod memory;
+
+pub use conduit::{Conduit, ConduitKind};
+pub use cpu::CpuModel;
+pub use fabric::{Connection, Fabric};
+pub use memory::MemoryModel;

@@ -1,0 +1,732 @@
+//! The scheduler (`Simulation`) and the actor-side API (`Ctx`).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+use crate::handoff::{Handoff, Wakeup};
+use crate::kernel::{
+    ActorId, ActorMeta, ActorStatus, BarrierId, CompletionId, CondId, EventKind, Kernel, MutexId,
+    ResourceId,
+};
+use crate::time::Time;
+
+/// Shared between the scheduler and every actor thread.
+struct Shared {
+    kernel: Mutex<Kernel>,
+    engine_handoff: Handoff,
+    /// Set when an actor panicked; the scheduler re-raises.
+    panic_note: Mutex<Option<String>>,
+}
+
+/// Internal sentinel unwound through user code on simulation teardown.
+struct ShutdownSignal;
+
+thread_local! {
+    /// Set just before the teardown unwind so the panic hook stays silent.
+    static QUIET_UNWIND: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Install (once, process-wide) a panic hook that suppresses output for the
+/// engine's internal teardown unwinds and delegates everything else.
+fn install_quiet_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if QUIET_UNWIND.with(|q| q.get()) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Handle to a spawned actor; lets other actors join it.
+#[derive(Clone, Copy, Debug)]
+pub struct ActorRef {
+    #[allow(dead_code)] // read by unit tests and diagnostics
+    pub(crate) id: ActorId,
+    exit: CompletionId,
+}
+
+impl ActorRef {
+    /// Completion that fires when the actor finishes. Wait on it with
+    /// [`Ctx::wait`] or poll it with [`Ctx::test`].
+    pub fn exit_completion(&self) -> CompletionId {
+        self.exit
+    }
+}
+
+/// Summary statistics of a finished run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimulationStats {
+    /// Virtual time at which the last event was processed.
+    pub end_time: Time,
+    /// Total number of scheduler events processed.
+    pub events: u64,
+    /// Total number of actors that ran (including dynamically spawned ones).
+    pub actors: usize,
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// Spawn root actors with [`Simulation::spawn`], configure platform state via
+/// [`Simulation::kernel`], then call [`Simulation::run`].
+pub struct Simulation {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+    ran: bool,
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulation {
+    pub fn new() -> Self {
+        install_quiet_hook();
+        Simulation {
+            shared: Arc::new(Shared {
+                kernel: Mutex::new(Kernel::new()),
+                engine_handoff: Handoff::new(),
+                panic_note: Mutex::new(None),
+            }),
+            threads: Vec::new(),
+            ran: false,
+        }
+    }
+
+    /// Mutable access to the kernel for pre-run setup (resources, barriers,
+    /// …). Must not be called while the simulation is running.
+    pub fn kernel(&self) -> MutexGuard<'_, Kernel> {
+        self.shared.kernel.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Enable per-event tracing to stderr (debugging aid).
+    pub fn set_trace(&self, on: bool) {
+        self.kernel().trace = on;
+    }
+
+    /// Spawn a root actor scheduled to start at time 0.
+    pub fn spawn<F>(&mut self, name: impl Into<String>, body: F) -> ActorRef
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        let name = name.into();
+        let (actor, thread) = spawn_actor(&self.shared, name, Box::new(body), 0);
+        self.threads.push(thread);
+        actor
+    }
+
+    /// Run until every actor has finished. Panics (with diagnostics) on
+    /// deadlock or if any actor panicked.
+    pub fn run(&mut self) -> SimulationStats {
+        assert!(!self.ran, "Simulation::run may only be called once");
+        self.ran = true;
+        loop {
+            let (event, trace) = {
+                let mut k = self.kernel();
+                if k.live_actors == 0 {
+                    let stats = SimulationStats {
+                        end_time: k.now(),
+                        events: k.events_processed(),
+                        actors: k.actors.len(),
+                    };
+                    return stats;
+                }
+                match k.pop_event() {
+                    Some(e) => {
+                        k.set_now(e.time);
+                        (e, k.trace)
+                    }
+                    None => {
+                        let report = k.blocked_report();
+                        drop(k);
+                        panic!(
+                            "simulation deadlock: no events pending but actors are blocked:\n{report}"
+                        );
+                    }
+                }
+            };
+            if trace {
+                eprintln!("[sim t={}] {:?}", crate::time::format(event.time), event.kind);
+            }
+            match event.kind {
+                EventKind::Complete(c) => {
+                    self.kernel().fire_completion(c);
+                }
+                EventKind::Wake(a) => {
+                    let handoff = {
+                        let mut k = self.kernel();
+                        k.mark_running(a);
+                        Arc::clone(&k.actors[a].handoff)
+                    };
+                    handoff.signal();
+                    self.shared.engine_handoff.wait();
+                    if let Some(msg) = self.shared.panic_note.lock().unwrap().take() {
+                        panic!("actor panicked: {msg}");
+                    }
+                    // Dynamically spawned threads were registered; collect
+                    // their join handles lazily at teardown via kernel meta.
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Simulation {
+    fn drop(&mut self) {
+        // Wake every unfinished actor with the shutdown flag so its thread
+        // unwinds out of user code and exits, then join all threads.
+        let handoffs: Vec<Arc<Handoff>> = {
+            let k = self.kernel();
+            k.actors
+                .iter()
+                .filter(|a| a.status != ActorStatus::Finished)
+                .map(|a| Arc::clone(&a.handoff))
+                .collect()
+        };
+        for h in handoffs {
+            h.signal_shutdown();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+type ActorBody = Box<dyn FnOnce(&Ctx) + Send + 'static>;
+
+/// Create the actor record and OS thread; schedule its first wake at
+/// `start_time`.
+fn spawn_actor(
+    shared: &Arc<Shared>,
+    name: String,
+    body: ActorBody,
+    start_time: Time,
+) -> (ActorRef, JoinHandle<()>) {
+    let handoff = Arc::new(Handoff::new());
+    let (id, exit) = {
+        let mut k = shared.kernel.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let exit = k.new_completion();
+        let id = k.actors.len();
+        k.actors.push(ActorMeta {
+            name: name.clone(),
+            status: ActorStatus::Blocked,
+            handoff: Arc::clone(&handoff),
+            exit,
+            blocked_on: "start".into(),
+        });
+        k.live_actors += 1;
+        let start = start_time.max(k.now());
+        k.wake_at(start, id);
+        (id, exit)
+    };
+    let shared2 = Arc::clone(shared);
+    let thread = std::thread::Builder::new()
+        .name(name)
+        .stack_size(8 << 20)
+        .spawn(move || {
+            if handoff.wait() == Wakeup::Shutdown {
+                return;
+            }
+            let ctx = Ctx {
+                shared: Arc::clone(&shared2),
+                id,
+                handoff: Arc::clone(&handoff),
+            };
+            let result = catch_unwind(AssertUnwindSafe(|| body(&ctx)));
+            let shutdown = matches!(
+                &result,
+                Err(p) if p.is::<ShutdownSignal>()
+            );
+            if shutdown {
+                // Teardown: do not touch kernel bookkeeping; just exit.
+                return;
+            }
+            if let Err(p) = result {
+                let msg = panic_message(p.as_ref());
+                *shared2.panic_note.lock().unwrap() = Some(format!("actor {id}: {msg}"));
+                // Mark finished so the scheduler does not hang.
+                let mut k = shared2.kernel.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                k.actors[id].status = ActorStatus::Finished;
+                k.live_actors -= 1;
+                drop(k);
+                shared2.engine_handoff.signal();
+                return;
+            }
+            let mut k = shared2.kernel.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            k.actors[id].status = ActorStatus::Finished;
+            k.live_actors -= 1;
+            let exit = k.actors[id].exit;
+            k.fire_completion(exit);
+            drop(k);
+            shared2.engine_handoff.signal();
+        })
+        .expect("failed to spawn actor thread");
+    (ActorRef { id, exit }, thread)
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Actor-side handle to the simulation: every simcall goes through this.
+///
+/// A `Ctx` is passed to the actor body and borrowed by anything that needs to
+/// advance virtual time or block.
+pub struct Ctx {
+    shared: Arc<Shared>,
+    id: ActorId,
+    handoff: Arc<Handoff>,
+}
+
+impl Ctx {
+    /// This actor's id (unique within the simulation, dense from 0).
+    #[inline]
+    pub fn actor_id(&self) -> usize {
+        self.id
+    }
+
+    /// Actor name (as given at spawn).
+    pub fn name(&self) -> String {
+        self.kernel().actors[self.id].name.clone()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.kernel().now()
+    }
+
+    fn kernel(&self) -> MutexGuard<'_, Kernel> {
+        self.shared.kernel.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Run `f` with mutable kernel access (for platform layers computing
+    /// multi-resource message costs). Does not block or advance time.
+    pub fn with_kernel<R>(&self, f: impl FnOnce(&mut Kernel) -> R) -> R {
+        f(&mut self.kernel())
+    }
+
+    /// Yield to the scheduler and park until woken.
+    fn block(&self, on: &str) {
+        {
+            let mut k = self.kernel();
+            debug_assert_ne!(k.actors[self.id].status, ActorStatus::Finished);
+            if k.actors[self.id].status != ActorStatus::Runnable {
+                k.mark_blocked(self.id, on);
+            }
+        }
+        self.shared.engine_handoff.signal();
+        if self.handoff.wait() == Wakeup::Shutdown {
+            QUIET_UNWIND.with(|q| q.set(true));
+            std::panic::panic_any(ShutdownSignal);
+        }
+    }
+
+    /// Charge `dt` of virtual time to this actor (pure delay, no resource).
+    pub fn advance(&self, dt: Time) {
+        if dt == 0 {
+            return;
+        }
+        {
+            let mut k = self.kernel();
+            let t = k.now() + dt;
+            let me = self.id;
+            k.wake_at(t, me);
+        }
+        self.block("advance");
+    }
+
+    /// Charge a FIFO service of `service` time on `res`, blocking until the
+    /// service completes (this is how compute-on-a-core and memory-traffic
+    /// charges are expressed).
+    pub fn acquire(&self, res: ResourceId, service: Time) {
+        let t = {
+            let mut k = self.kernel();
+            let t = k.acquire(res, service);
+            let me = self.id;
+            k.wake_at(t, me);
+            t
+        };
+        let _ = t;
+        self.block("resource");
+    }
+
+    /// Block until `comp` fires. Returns immediately if it already has.
+    pub fn wait(&self, comp: CompletionId) {
+        {
+            let mut k = self.kernel();
+            if k.is_complete(comp) {
+                return;
+            }
+            k.add_completion_waiter(comp, self.id);
+            let me = self.id;
+            k.mark_blocked(me, "completion");
+        }
+        self.block("completion");
+    }
+
+    /// Non-blocking poll of a completion.
+    pub fn test(&self, comp: CompletionId) -> bool {
+        self.kernel().is_complete(comp)
+    }
+
+    /// Park on a condition variable (standalone; re-check your predicate on
+    /// wake — wakes are targeted but predicates are the caller's business).
+    pub fn cond_wait(&self, cond: CondId) {
+        {
+            let mut k = self.kernel();
+            k.add_cond_waiter(cond, self.id);
+            let me = self.id;
+            k.mark_blocked(me, "cond");
+        }
+        self.block("cond");
+    }
+
+    /// Wake one actor parked on `cond`.
+    pub fn cond_notify_one(&self, cond: CondId) -> bool {
+        self.kernel().cond_notify_one(cond)
+    }
+
+    /// Wake all actors parked on `cond`.
+    pub fn cond_notify_all(&self, cond: CondId) -> usize {
+        self.kernel().cond_notify_all(cond)
+    }
+
+    /// Arrive at `bar` and block until all parties have arrived. The barrier
+    /// releases everyone at the last arrival time plus `release_cost`.
+    pub fn barrier_wait_cost(&self, bar: BarrierId, release_cost: Time) {
+        let released_now = {
+            let mut k = self.kernel();
+            let me = self.id;
+            let last = k.barrier_arrive(bar, me, release_cost);
+            if !last {
+                k.mark_blocked(me, "barrier");
+            }
+            last
+        };
+        if released_now {
+            self.advance(release_cost);
+        } else {
+            self.block("barrier");
+        }
+    }
+
+    /// [`Ctx::barrier_wait_cost`] with zero release cost.
+    pub fn barrier_wait(&self, bar: BarrierId) {
+        self.barrier_wait_cost(bar, 0);
+    }
+
+    /// Acquire a simulated mutex (FIFO fair), blocking if held.
+    pub fn mutex_lock(&self, m: MutexId) {
+        let got = {
+            let mut k = self.kernel();
+            let me = self.id;
+            let got = k.mutex_lock_or_enqueue(m, me);
+            if !got {
+                k.mark_blocked(me, "mutex");
+            }
+            got
+        };
+        if !got {
+            self.block("mutex");
+        }
+    }
+
+    /// Try to acquire without blocking.
+    pub fn mutex_try_lock(&self, m: MutexId) -> bool {
+        let me = self.id;
+        self.kernel().mutex_try_lock(m, me)
+    }
+
+    /// Release a simulated mutex; panics if this actor is not the owner.
+    pub fn mutex_unlock(&self, m: MutexId) {
+        let me = self.id;
+        self.kernel().mutex_unlock(m, me);
+    }
+
+    /// Spawn a child actor starting at the current time. The child is a full
+    /// actor (own OS thread); join via
+    /// `ctx.wait(child.exit_completion())`.
+    pub fn spawn<F>(&self, name: impl Into<String>, body: F) -> ActorRef
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        let now = self.kernel().now();
+        let (actor, thread) = spawn_actor(&self.shared, name.into(), Box::new(body), now);
+        // Detach: teardown in Simulation::drop joins only root threads, so
+        // child threads must exit on their own. They always do: either they
+        // finish, or they receive the shutdown signal (Drop signals every
+        // non-finished actor, children included). Dropping the JoinHandle
+        // detaches the thread without leaking the actor record.
+        drop(thread);
+        actor
+    }
+
+    /// Block until `child` has finished.
+    pub fn join(&self, child: ActorRef) {
+        self.wait(child.exit_completion());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn single_actor_advances_time() {
+        let mut sim = Simulation::new();
+        sim.spawn("a", |ctx| {
+            assert_eq!(ctx.now(), 0);
+            ctx.advance(time::us(5));
+            assert_eq!(ctx.now(), time::us(5));
+        });
+        let stats = sim.run();
+        assert_eq!(stats.end_time, time::us(5));
+        assert_eq!(stats.actors, 1);
+    }
+
+    #[test]
+    fn actors_interleave_deterministically() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Simulation::new();
+        for id in 0..3u64 {
+            let order = Arc::clone(&order);
+            sim.spawn(format!("a{id}"), move |ctx| {
+                ctx.advance(time::us(10 - id)); // a2 finishes first
+                order.lock().unwrap().push(id);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.lock().unwrap(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn barrier_releases_at_max_arrival() {
+        let mut sim = Simulation::new();
+        let bar = sim.kernel().new_barrier(3);
+        for id in 0..3u64 {
+            sim.spawn(format!("a{id}"), move |ctx| {
+                ctx.advance(time::us(id + 1));
+                ctx.barrier_wait(bar);
+                assert_eq!(ctx.now(), time::us(3));
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn barrier_release_cost_applies_to_everyone() {
+        let mut sim = Simulation::new();
+        let bar = sim.kernel().new_barrier(2);
+        for id in 0..2u64 {
+            sim.spawn(format!("a{id}"), move |ctx| {
+                ctx.advance(time::us(id));
+                ctx.barrier_wait_cost(bar, time::us(7));
+                assert_eq!(ctx.now(), time::us(1) + time::us(7));
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn barrier_is_reusable() {
+        let mut sim = Simulation::new();
+        let bar = sim.kernel().new_barrier(2);
+        for id in 0..2u64 {
+            sim.spawn(format!("a{id}"), move |ctx| {
+                for round in 0..5u64 {
+                    ctx.advance(time::us(id + 1));
+                    ctx.barrier_wait(bar);
+                    let _ = round;
+                }
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn resource_contention_serializes() {
+        let mut sim = Simulation::new();
+        let res = sim.kernel().new_resource("link");
+        let ends = Arc::new(Mutex::new(Vec::new()));
+        for id in 0..3u64 {
+            let ends = Arc::clone(&ends);
+            sim.spawn(format!("a{id}"), move |ctx| {
+                ctx.acquire(res, time::us(10));
+                ends.lock().unwrap().push((id, ctx.now()));
+            });
+        }
+        sim.run();
+        let ends = ends.lock().unwrap();
+        // All three requested at t=0; FIFO order by spawn (= event seq).
+        assert_eq!(*ends, vec![
+            (0, time::us(10)),
+            (1, time::us(20)),
+            (2, time::us(30)),
+        ]);
+    }
+
+    #[test]
+    fn completion_wait_and_test() {
+        let mut sim = Simulation::new();
+        let comp = sim.kernel().new_completion();
+        sim.spawn("setter", move |ctx| {
+            ctx.advance(time::us(50));
+            ctx.with_kernel(|k| {
+                let now = k.now();
+                k.complete_at(now, comp);
+            });
+        });
+        sim.spawn("waiter", move |ctx| {
+            assert!(!ctx.test(comp));
+            ctx.wait(comp);
+            assert_eq!(ctx.now(), time::us(50));
+            assert!(ctx.test(comp));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn mutex_is_fifo_fair() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Simulation::new();
+        let m = sim.kernel().new_mutex();
+        for id in 0..3u64 {
+            let order = Arc::clone(&order);
+            sim.spawn(format!("a{id}"), move |ctx| {
+                ctx.advance(time::ns(id)); // stagger lock attempts
+                ctx.mutex_lock(m);
+                order.lock().unwrap().push(id);
+                ctx.advance(time::us(10));
+                ctx.mutex_unlock(m);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dynamic_spawn_and_join() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut sim = Simulation::new();
+        let c2 = Arc::clone(&counter);
+        sim.spawn("parent", move |ctx| {
+            let children: Vec<ActorRef> = (0..4)
+                .map(|i| {
+                    let c = Arc::clone(&c2);
+                    ctx.spawn(format!("child{i}"), move |cctx| {
+                        cctx.advance(time::us(i + 1));
+                        c.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for ch in children {
+                ctx.join(ch);
+            }
+            assert_eq!(ctx.now(), time::us(4));
+        });
+        let stats = sim.run();
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+        assert_eq!(stats.actors, 5);
+    }
+
+    #[test]
+    fn cond_wait_notify() {
+        let mut sim = Simulation::new();
+        let cond = sim.kernel().new_cond();
+        let flag = Arc::new(AtomicUsize::new(0));
+        let f2 = Arc::clone(&flag);
+        sim.spawn("waiter", move |ctx| {
+            while f2.load(Ordering::Relaxed) == 0 {
+                ctx.cond_wait(cond);
+            }
+            assert_eq!(ctx.now(), time::us(30));
+        });
+        let f3 = Arc::clone(&flag);
+        sim.spawn("notifier", move |ctx| {
+            ctx.advance(time::us(30));
+            f3.store(1, Ordering::Relaxed);
+            ctx.cond_notify_all(cond);
+        });
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "actor panicked")]
+    fn actor_panic_propagates() {
+        let mut sim = Simulation::new();
+        sim.spawn("boom", |_ctx| panic!("kaboom"));
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected() {
+        let mut sim = Simulation::new();
+        let m = sim.kernel().new_mutex();
+        let bar = sim.kernel().new_barrier(2);
+        sim.spawn("a", move |ctx| {
+            ctx.mutex_lock(m);
+            ctx.barrier_wait(bar);
+        });
+        sim.spawn("b", move |ctx| {
+            ctx.advance(1);
+            ctx.mutex_lock(m); // never released while a waits at barrier
+            ctx.barrier_wait(bar);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn run_once() -> (Time, u64) {
+            let mut sim = Simulation::new();
+            let res = sim.kernel().new_resource("r");
+            let bar = sim.kernel().new_barrier(4);
+            for id in 0..4u64 {
+                sim.spawn(format!("a{id}"), move |ctx| {
+                    for i in 0..10u64 {
+                        ctx.acquire(res, time::ns(100 + id * 13 + i * 7));
+                        ctx.barrier_wait(bar);
+                    }
+                });
+            }
+            let stats = sim.run();
+            (stats.end_time, stats.events)
+        }
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn drop_without_run_does_not_hang() {
+        let mut sim = Simulation::new();
+        sim.spawn("never-ran", |ctx| {
+            ctx.advance(time::secs(100));
+        });
+        drop(sim); // must join the parked thread promptly
+    }
+
+    #[test]
+    fn actor_names_and_ids() {
+        let mut sim = Simulation::new();
+        let a = sim.spawn("alpha", |ctx| {
+            assert_eq!(ctx.name(), "alpha");
+            assert_eq!(ctx.actor_id(), 0);
+        });
+        assert_eq!(a.id, 0);
+        sim.run();
+    }
+}

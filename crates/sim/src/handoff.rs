@@ -1,0 +1,94 @@
+//! One-token handoff between the scheduler thread and actor threads.
+//!
+//! The engine guarantees that at most one party (the scheduler or a single
+//! actor) is logically running at a time. A `Handoff` is the parking spot a
+//! party waits on until the other side passes it the token.
+
+use std::sync::{Condvar, Mutex};
+
+/// Why a parked party was woken.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Wakeup {
+    /// Proceed normally.
+    Run,
+    /// The simulation is being torn down; unwind out of user code.
+    Shutdown,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    token: bool,
+    shutdown: bool,
+}
+
+/// A binary-semaphore-like rendezvous point.
+#[derive(Debug, Default)]
+pub(crate) struct Handoff {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Handoff {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Park until the token arrives. Returns the wakeup reason.
+    pub fn wait(&self) -> Wakeup {
+        let mut g = self.state.lock().expect("handoff mutex poisoned");
+        while !g.token {
+            g = self.cv.wait(g).expect("handoff mutex poisoned");
+        }
+        g.token = false;
+        if g.shutdown {
+            Wakeup::Shutdown
+        } else {
+            Wakeup::Run
+        }
+    }
+
+    /// Pass the token, waking the parked party (or letting the next `wait`
+    /// return immediately).
+    pub fn signal(&self) {
+        let mut g = self.state.lock().expect("handoff mutex poisoned");
+        g.token = true;
+        self.cv.notify_one();
+    }
+
+    /// Pass the token flagged as shutdown; the woken party unwinds.
+    pub fn signal_shutdown(&self) {
+        let mut g = self.state.lock().expect("handoff mutex poisoned");
+        g.token = true;
+        g.shutdown = true;
+        self.cv.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn token_passes_between_threads() {
+        let h = Arc::new(Handoff::new());
+        let h2 = Arc::clone(&h);
+        let t = std::thread::spawn(move || h2.wait());
+        h.signal();
+        assert_eq!(t.join().unwrap(), Wakeup::Run);
+    }
+
+    #[test]
+    fn signal_before_wait_is_not_lost() {
+        let h = Handoff::new();
+        h.signal();
+        assert_eq!(h.wait(), Wakeup::Run);
+    }
+
+    #[test]
+    fn shutdown_reason_is_delivered() {
+        let h = Handoff::new();
+        h.signal_shutdown();
+        assert_eq!(h.wait(), Wakeup::Shutdown);
+    }
+}

@@ -1,0 +1,501 @@
+//! The simulation kernel: event queue, virtual clock, and the blocking /
+//! resource primitives actors synchronize through.
+//!
+//! The kernel lives behind a single mutex, but there is never real
+//! contention: only the running actor (or the scheduler between actors)
+//! touches it. All mutation goes through methods here so invariants —
+//! monotone time, at most one pending wake per actor, FIFO resource queues —
+//! hold in one place.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use crate::handoff::Handoff;
+use crate::time::Time;
+
+/// Identifies an actor within one simulation.
+pub(crate) type ActorId = usize;
+
+/// Handle to a FIFO queueing resource (a core, a NIC, a link, …).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ResourceId(pub(crate) usize);
+
+/// Handle to a one-shot completion (an async operation's "done" flag).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CompletionId(pub(crate) usize);
+
+/// Handle to a condition variable (standalone; the engine's serialization
+/// makes the usual lost-wakeup race impossible).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CondId(pub(crate) usize);
+
+/// Handle to a reusable N-party barrier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BarrierId(pub(crate) usize);
+
+/// Handle to a FIFO-fair simulated mutex.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MutexId(pub(crate) usize);
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum EventKind {
+    Wake(ActorId),
+    Complete(CompletionId),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Event {
+    pub time: Time,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ActorStatus {
+    /// Has a pending `Wake` event in the queue.
+    Runnable,
+    /// Currently executing user code (resumed, wake consumed).
+    Running,
+    /// Parked in a simcall with no pending wake (waiting on a completion,
+    /// condition, barrier or mutex).
+    Blocked,
+    Finished,
+}
+
+pub(crate) struct ActorMeta {
+    pub name: String,
+    pub status: ActorStatus,
+    pub handoff: Arc<Handoff>,
+    /// Completed when the actor finishes; joiners wait on it.
+    pub exit: CompletionId,
+    /// What the actor is blocked on, for deadlock diagnostics.
+    pub blocked_on: String,
+}
+
+#[derive(Debug)]
+struct ResourceState {
+    name: String,
+    next_free: Time,
+    busy_total: Time,
+}
+
+#[derive(Debug, Default)]
+struct CompletionState {
+    done: bool,
+    waiters: Vec<ActorId>,
+}
+
+#[derive(Debug, Default)]
+struct CondState {
+    waiters: Vec<ActorId>,
+}
+
+#[derive(Debug)]
+struct BarrierState {
+    parties: usize,
+    arrived: Vec<ActorId>,
+}
+
+#[derive(Debug, Default)]
+struct MutexState {
+    owner: Option<ActorId>,
+    queue: Vec<ActorId>,
+}
+
+/// Central simulation state. Obtain mutable access through
+/// [`crate::Simulation::kernel`] (before the run) or
+/// [`crate::Ctx::with_kernel`] (from inside an actor).
+pub struct Kernel {
+    now: Time,
+    seq: u64,
+    events: BinaryHeap<Reverse<Event>>,
+    events_processed: u64,
+    resources: Vec<ResourceState>,
+    completions: Vec<CompletionState>,
+    conds: Vec<CondState>,
+    barriers: Vec<BarrierState>,
+    mutexes: Vec<MutexState>,
+    pub(crate) actors: Vec<ActorMeta>,
+    pub(crate) live_actors: usize,
+    pub(crate) trace: bool,
+}
+
+impl Kernel {
+    pub(crate) fn new() -> Self {
+        Kernel {
+            now: 0,
+            seq: 0,
+            events: BinaryHeap::new(),
+            events_processed: 0,
+            resources: Vec::new(),
+            completions: Vec::new(),
+            conds: Vec::new(),
+            barriers: Vec::new(),
+            mutexes: Vec::new(),
+            actors: Vec::new(),
+            live_actors: 0,
+            trace: false,
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    pub(crate) fn set_now(&mut self, t: Time) {
+        debug_assert!(t >= self.now, "virtual time must be monotone");
+        self.now = t;
+        self.events_processed += 1;
+    }
+
+    pub(crate) fn push_event(&mut self, time: Time, kind: EventKind) {
+        debug_assert!(time >= self.now, "cannot schedule into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(Event { time, seq, kind }));
+    }
+
+    pub(crate) fn pop_event(&mut self) -> Option<Event> {
+        self.events.pop().map(|Reverse(e)| e)
+    }
+
+    /// Schedule a wake for `actor` at `time`, marking it runnable.
+    pub(crate) fn wake_at(&mut self, time: Time, actor: ActorId) {
+        debug_assert_ne!(
+            self.actors[actor].status,
+            ActorStatus::Runnable,
+            "actor {} ({}) already has a pending wake",
+            actor,
+            self.actors[actor].name
+        );
+        self.actors[actor].status = ActorStatus::Runnable;
+        self.actors[actor].blocked_on.clear();
+        self.push_event(time, EventKind::Wake(actor));
+    }
+
+    pub(crate) fn mark_blocked(&mut self, actor: ActorId, on: &str) {
+        self.actors[actor].status = ActorStatus::Blocked;
+        self.actors[actor].blocked_on = on.to_string();
+    }
+
+    pub(crate) fn mark_running(&mut self, actor: ActorId) {
+        debug_assert_eq!(self.actors[actor].status, ActorStatus::Runnable);
+        self.actors[actor].status = ActorStatus::Running;
+    }
+
+    // ----- resources ------------------------------------------------------
+
+    /// Register a FIFO queueing resource.
+    pub fn new_resource(&mut self, name: impl Into<String>) -> ResourceId {
+        self.resources.push(ResourceState {
+            name: name.into(),
+            next_free: 0,
+            busy_total: 0,
+        });
+        ResourceId(self.resources.len() - 1)
+    }
+
+    /// FIFO-acquire `res` for `service` time, starting no earlier than
+    /// `earliest`. Returns the completion time. This is the single queueing
+    /// primitive every contention effect in the platform model reduces to.
+    pub fn acquire_after(
+        &mut self,
+        res: ResourceId,
+        earliest: Time,
+        service: Time,
+    ) -> Time {
+        let r = &mut self.resources[res.0];
+        let start = earliest.max(r.next_free);
+        r.next_free = start + service;
+        r.busy_total += service;
+        r.next_free
+    }
+
+    /// FIFO-acquire starting no earlier than the current time.
+    pub fn acquire(&mut self, res: ResourceId, service: Time) -> Time {
+        let now = self.now;
+        self.acquire_after(res, now, service)
+    }
+
+    /// Earliest instant `res` is free (its queue tail).
+    pub fn resource_free_at(&self, res: ResourceId) -> Time {
+        self.resources[res.0].next_free
+    }
+
+    /// Total busy time accumulated on `res` (for utilization reporting).
+    pub fn resource_busy_total(&self, res: ResourceId) -> Time {
+        self.resources[res.0].busy_total
+    }
+
+    /// Name the resource was registered with.
+    pub fn resource_name(&self, res: ResourceId) -> &str {
+        &self.resources[res.0].name
+    }
+
+    // ----- completions ----------------------------------------------------
+
+    /// Create a fresh not-yet-done completion.
+    pub fn new_completion(&mut self) -> CompletionId {
+        self.completions.push(CompletionState::default());
+        CompletionId(self.completions.len() - 1)
+    }
+
+    /// Schedule `comp` to become done at `time`.
+    pub fn complete_at(&mut self, time: Time, comp: CompletionId) {
+        self.push_event(time, EventKind::Complete(comp));
+    }
+
+    /// Whether `comp` has fired.
+    pub fn is_complete(&self, comp: CompletionId) -> bool {
+        self.completions[comp.0].done
+    }
+
+    /// Mark done immediately and wake waiters at the current time.
+    pub(crate) fn fire_completion(&mut self, comp: CompletionId) {
+        let c = &mut self.completions[comp.0];
+        if c.done {
+            return;
+        }
+        c.done = true;
+        let waiters = std::mem::take(&mut c.waiters);
+        let now = self.now;
+        for w in waiters {
+            self.wake_at(now, w);
+        }
+    }
+
+    pub(crate) fn add_completion_waiter(&mut self, comp: CompletionId, actor: ActorId) {
+        debug_assert!(!self.completions[comp.0].done);
+        self.completions[comp.0].waiters.push(actor);
+    }
+
+    // ----- condition variables --------------------------------------------
+
+    /// Create a condition variable.
+    pub fn new_cond(&mut self) -> CondId {
+        self.conds.push(CondState::default());
+        CondId(self.conds.len() - 1)
+    }
+
+    pub(crate) fn add_cond_waiter(&mut self, cond: CondId, actor: ActorId) {
+        self.conds[cond.0].waiters.push(actor);
+    }
+
+    /// Wake one waiter (FIFO). Returns whether anybody was woken.
+    pub fn cond_notify_one(&mut self, cond: CondId) -> bool {
+        if self.conds[cond.0].waiters.is_empty() {
+            return false;
+        }
+        let w = self.conds[cond.0].waiters.remove(0);
+        let now = self.now;
+        self.wake_at(now, w);
+        true
+    }
+
+    /// Wake all waiters. Returns how many were woken.
+    pub fn cond_notify_all(&mut self, cond: CondId) -> usize {
+        let waiters = std::mem::take(&mut self.conds[cond.0].waiters);
+        let n = waiters.len();
+        let now = self.now;
+        for w in waiters {
+            self.wake_at(now, w);
+        }
+        n
+    }
+
+    /// Number of actors currently parked on `cond`.
+    pub fn cond_waiter_count(&self, cond: CondId) -> usize {
+        self.conds[cond.0].waiters.len()
+    }
+
+    // ----- barriers ---------------------------------------------------------
+
+    /// Create a reusable barrier for `parties` actors.
+    pub fn new_barrier(&mut self, parties: usize) -> BarrierId {
+        assert!(parties > 0, "barrier needs at least one party");
+        self.barriers.push(BarrierState {
+            parties,
+            arrived: Vec::new(),
+        });
+        BarrierId(self.barriers.len() - 1)
+    }
+
+    /// Arrive at the barrier. Returns `true` if this arrival released the
+    /// barrier (the caller is the last party and must NOT block); the kernel
+    /// has then scheduled wakes for all the earlier arrivals at
+    /// `now + release_cost`, and the caller should advance itself by
+    /// `release_cost`.
+    pub(crate) fn barrier_arrive(
+        &mut self,
+        bar: BarrierId,
+        actor: ActorId,
+        release_cost: Time,
+    ) -> bool {
+        let parties = self.barriers[bar.0].parties;
+        self.barriers[bar.0].arrived.push(actor);
+        if self.barriers[bar.0].arrived.len() < parties {
+            return false;
+        }
+        let arrived = std::mem::take(&mut self.barriers[bar.0].arrived);
+        let t = self.now + release_cost;
+        for w in arrived {
+            if w != actor {
+                self.wake_at(t, w);
+            }
+        }
+        true
+    }
+
+    /// Parties the barrier was created with.
+    pub fn barrier_parties(&self, bar: BarrierId) -> usize {
+        self.barriers[bar.0].parties
+    }
+
+    // ----- mutexes ----------------------------------------------------------
+
+    /// Create a FIFO-fair simulated mutex.
+    pub fn new_mutex(&mut self) -> MutexId {
+        self.mutexes.push(MutexState::default());
+        MutexId(self.mutexes.len() - 1)
+    }
+
+    /// Attempt the fast path of a lock. Returns `true` on success; on
+    /// failure the caller was queued and must block.
+    pub(crate) fn mutex_lock_or_enqueue(&mut self, m: MutexId, actor: ActorId) -> bool {
+        let st = &mut self.mutexes[m.0];
+        if st.owner.is_none() {
+            st.owner = Some(actor);
+            true
+        } else {
+            st.queue.push(actor);
+            false
+        }
+    }
+
+    /// Try-lock without queueing.
+    pub(crate) fn mutex_try_lock(&mut self, m: MutexId, actor: ActorId) -> bool {
+        let st = &mut self.mutexes[m.0];
+        if st.owner.is_none() {
+            st.owner = Some(actor);
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn mutex_unlock(&mut self, m: MutexId, actor: ActorId) {
+        let st = &mut self.mutexes[m.0];
+        assert_eq!(
+            st.owner,
+            Some(actor),
+            "mutex unlocked by non-owner actor {actor}"
+        );
+        if st.queue.is_empty() {
+            st.owner = None;
+        } else {
+            let next = st.queue.remove(0);
+            st.owner = Some(next);
+            let now = self.now;
+            self.wake_at(now, next);
+        }
+    }
+
+    /// Whether the mutex is currently held.
+    pub fn mutex_is_locked(&self, m: MutexId) -> bool {
+        self.mutexes[m.0].owner.is_some()
+    }
+
+    // ----- diagnostics ------------------------------------------------------
+
+    pub(crate) fn blocked_report(&self) -> String {
+        let mut s = String::new();
+        for (i, a) in self.actors.iter().enumerate() {
+            if a.status == ActorStatus::Blocked {
+                s.push_str(&format!(
+                    "  actor {i} '{}' blocked on {}\n",
+                    a.name, a.blocked_on
+                ));
+            }
+        }
+        s
+    }
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("now", &self.now)
+            .field("pending_events", &self.events.len())
+            .field("actors", &self.actors.len())
+            .field("live_actors", &self.live_actors)
+            .field("resources", &self.resources.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_ordering_is_time_then_seq() {
+        let mut k = Kernel::new();
+        k.push_event(10, EventKind::Complete(CompletionId(0)));
+        k.push_event(5, EventKind::Complete(CompletionId(1)));
+        k.push_event(5, EventKind::Complete(CompletionId(2)));
+        assert_eq!(k.pop_event().unwrap().kind, EventKind::Complete(CompletionId(1)));
+        assert_eq!(k.pop_event().unwrap().kind, EventKind::Complete(CompletionId(2)));
+        assert_eq!(k.pop_event().unwrap().kind, EventKind::Complete(CompletionId(0)));
+        assert!(k.pop_event().is_none());
+    }
+
+    #[test]
+    fn fifo_resource_queues_back_to_back() {
+        let mut k = Kernel::new();
+        let r = k.new_resource("nic");
+        assert_eq!(k.acquire_after(r, 0, 100), 100);
+        assert_eq!(k.acquire_after(r, 0, 100), 200); // queued behind first
+        assert_eq!(k.acquire_after(r, 500, 100), 600); // idle gap respected
+        assert_eq!(k.resource_busy_total(r), 300);
+        assert_eq!(k.resource_free_at(r), 600);
+    }
+
+    #[test]
+    fn completion_state_machine() {
+        let mut k = Kernel::new();
+        let c = k.new_completion();
+        assert!(!k.is_complete(c));
+        k.fire_completion(c);
+        assert!(k.is_complete(c));
+        // firing twice is idempotent
+        k.fire_completion(c);
+        assert!(k.is_complete(c));
+    }
+
+    #[test]
+    #[should_panic(expected = "barrier needs at least one party")]
+    fn zero_party_barrier_rejected() {
+        let mut k = Kernel::new();
+        k.new_barrier(0);
+    }
+}

@@ -1,0 +1,55 @@
+//! `hupc-sim` — a deterministic discrete-event simulation engine with
+//! OS-thread actors and virtual time.
+//!
+//! The engine is the substrate every other `hupc` crate runs on. It plays the
+//! role the physical clusters (*Lehman*, *Pyramid*) play in the thesis
+//! "Exploiting Hierarchical Parallelism Using UPC": code executes for real,
+//! but *time* is virtual and charged against modeled resources (CPU cores,
+//! memory controllers, NICs, network links).
+//!
+//! # Execution model
+//!
+//! Every simulated execution stream (a UPC thread, a sub-thread, an MPI rank)
+//! is an **actor**: a real OS thread that runs user Rust code. Exactly one
+//! actor runs at any instant; an actor executes until it performs a *simcall*
+//! ([`Ctx::advance`], [`Ctx::acquire`], [`Ctx::wait`], [`Ctx::barrier_wait`],
+//! …), at which point control is handed back to the central scheduler. The
+//! scheduler pops the event queue in `(virtual_time, sequence)` order and
+//! resumes the next runnable actor. This makes every run bit-for-bit
+//! deterministic while still letting user code use plain Rust data structures.
+//!
+//! Because actors never run concurrently, shared state can be held in
+//! [`SimCell`]s — interior-mutability cells whose safety is guaranteed by the
+//! engine's serialization (and policed by a runtime borrow flag).
+//!
+//! # Quick example
+//!
+//! ```
+//! use hupc_sim::{Simulation, time};
+//!
+//! let mut sim = Simulation::new();
+//! let bar = sim.kernel().new_barrier(2);
+//! for id in 0..2 {
+//!     sim.spawn(format!("worker{id}"), move |ctx| {
+//!         ctx.advance(time::us(10) * (id as u64 + 1));
+//!         ctx.barrier_wait(bar);
+//!         assert_eq!(ctx.now(), time::us(20)); // barrier releases at max arrival
+//!     });
+//! }
+//! sim.run();
+//! ```
+
+mod cell;
+mod engine;
+mod handoff;
+mod kernel;
+mod queue;
+pub mod time;
+
+pub use cell::SimCell;
+pub use engine::{ActorRef, Ctx, Simulation, SimulationStats};
+pub use kernel::{
+    BarrierId, CompletionId, CondId, Kernel, MutexId, ResourceId,
+};
+pub use queue::SimQueue;
+pub use time::Time;

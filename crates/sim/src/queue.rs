@@ -1,0 +1,144 @@
+//! `SimQueue` — an unbounded FIFO channel between actors, built from a
+//! [`SimCell`] and a kernel condition variable.
+//!
+//! Used by the sub-thread pools (task dispatch) and the MPI substrate
+//! (message matching). Transfer *costs* are not modeled here — callers charge
+//! time explicitly through the platform layers.
+
+use std::collections::VecDeque;
+
+use crate::cell::SimCell;
+use crate::engine::Ctx;
+use crate::kernel::{CondId, Kernel};
+
+/// An unbounded multi-producer multi-consumer FIFO queue for actors.
+pub struct SimQueue<T> {
+    items: SimCell<VecDeque<T>>,
+    cond: CondId,
+}
+
+impl<T: Send> SimQueue<T> {
+    /// Create a queue; needs kernel access once, at construction.
+    pub fn new(kernel: &mut Kernel) -> Self {
+        SimQueue {
+            items: SimCell::new(VecDeque::new()),
+            cond: kernel.new_cond(),
+        }
+    }
+
+    /// Push an item and wake one blocked consumer, if any.
+    pub fn push(&self, ctx: &Ctx, item: T) {
+        self.items.with_mut(|q| q.push_back(item));
+        ctx.cond_notify_one(self.cond);
+    }
+
+    /// Push an item and wake all blocked consumers (used for shutdown
+    /// broadcasts where every consumer must re-check state).
+    pub fn push_broadcast(&self, ctx: &Ctx, item: T) {
+        self.items.with_mut(|q| q.push_back(item));
+        ctx.cond_notify_all(self.cond);
+    }
+
+    /// Pop, blocking in virtual time until an item is available.
+    pub fn pop(&self, ctx: &Ctx) -> T {
+        loop {
+            if let Some(v) = self.items.with_mut(|q| q.pop_front()) {
+                return v;
+            }
+            ctx.cond_wait(self.cond);
+        }
+    }
+
+    /// Non-blocking pop.
+    pub fn try_pop(&self) -> Option<T> {
+        self.items.with_mut(|q| q.pop_front())
+    }
+
+    /// Current queue length.
+    pub fn len(&self) -> usize {
+        self.items.with(|q| q.len())
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{time, Simulation};
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn producer_consumer_in_virtual_time() {
+        let mut sim = Simulation::new();
+        let q = Arc::new(SimQueue::new(&mut sim.kernel()));
+        let seen = Arc::new(Mutex::new(Vec::new()));
+
+        let qp = Arc::clone(&q);
+        sim.spawn("producer", move |ctx| {
+            for i in 0..5 {
+                ctx.advance(time::us(10));
+                qp.push(ctx, i);
+            }
+        });
+        let qc = Arc::clone(&q);
+        let seen2 = Arc::clone(&seen);
+        sim.spawn("consumer", move |ctx| {
+            for _ in 0..5 {
+                let v = qc.pop(ctx);
+                seen2.lock().unwrap().push((v, ctx.now()));
+            }
+        });
+        sim.run();
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 5);
+        assert_eq!(seen[0], (0, time::us(10)));
+        assert_eq!(seen[4], (4, time::us(50)));
+    }
+
+    #[test]
+    fn try_pop_and_len() {
+        let mut sim = Simulation::new();
+        let q = Arc::new(SimQueue::new(&mut sim.kernel()));
+        let q2 = Arc::clone(&q);
+        sim.spawn("solo", move |ctx| {
+            assert!(q2.try_pop().is_none());
+            assert!(q2.is_empty());
+            q2.push(ctx, 7);
+            q2.push(ctx, 8);
+            assert_eq!(q2.len(), 2);
+            assert_eq!(q2.try_pop(), Some(7));
+            assert_eq!(q2.try_pop(), Some(8));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn multiple_consumers_each_get_one() {
+        let mut sim = Simulation::new();
+        let q = Arc::new(SimQueue::new(&mut sim.kernel()));
+        let got = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..3 {
+            let q = Arc::clone(&q);
+            let got = Arc::clone(&got);
+            sim.spawn(format!("cons{i}"), move |ctx| {
+                let v: u32 = q.pop(ctx);
+                got.lock().unwrap().push(v);
+            });
+        }
+        let qp = Arc::clone(&q);
+        sim.spawn("prod", move |ctx| {
+            ctx.advance(time::us(1));
+            for v in [10u32, 20, 30] {
+                qp.push(ctx, v);
+            }
+        });
+        sim.run();
+        let mut got = got.lock().unwrap().clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![10, 20, 30]);
+    }
+}

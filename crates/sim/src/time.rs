@@ -1,0 +1,111 @@
+//! Virtual time: `u64` nanoseconds plus construction / formatting helpers.
+//!
+//! All simulation timestamps and durations share this unit. Costs are
+//! computed in `f64` (bytes / bandwidth and the like) and rounded to the
+//! nearest nanosecond, which keeps event ordering integral and deterministic.
+
+/// A point in virtual time or a duration, in nanoseconds.
+pub type Time = u64;
+
+/// `n` nanoseconds.
+#[inline]
+pub const fn ns(n: u64) -> Time {
+    n
+}
+
+/// `n` microseconds.
+#[inline]
+pub const fn us(n: u64) -> Time {
+    n * 1_000
+}
+
+/// `n` milliseconds.
+#[inline]
+pub const fn ms(n: u64) -> Time {
+    n * 1_000_000
+}
+
+/// `n` seconds.
+#[inline]
+pub const fn secs(n: u64) -> Time {
+    n * 1_000_000_000
+}
+
+/// Convert a duration in (possibly fractional) seconds to virtual time,
+/// rounding to the nearest nanosecond. Negative or non-finite inputs clamp
+/// to zero.
+#[inline]
+pub fn from_secs_f64(s: f64) -> Time {
+    if !s.is_finite() || s <= 0.0 {
+        return 0;
+    }
+    (s * 1e9).round() as Time
+}
+
+/// Virtual time as fractional seconds.
+#[inline]
+pub fn as_secs_f64(t: Time) -> f64 {
+    t as f64 / 1e9
+}
+
+/// Virtual time as fractional microseconds.
+#[inline]
+pub fn as_us_f64(t: Time) -> f64 {
+    t as f64 / 1e3
+}
+
+/// Virtual time as fractional milliseconds.
+#[inline]
+pub fn as_ms_f64(t: Time) -> f64 {
+    t as f64 / 1e6
+}
+
+/// Human-readable rendering with an auto-selected unit (`ns`, `us`, `ms`, `s`).
+pub fn format(t: Time) -> String {
+    if t < 1_000 {
+        format!("{t}ns")
+    } else if t < 1_000_000 {
+        format!("{:.2}us", as_us_f64(t))
+    } else if t < 1_000_000_000 {
+        format!("{:.2}ms", as_ms_f64(t))
+    } else {
+        format!("{:.3}s", as_secs_f64(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors_compose() {
+        assert_eq!(us(1), ns(1_000));
+        assert_eq!(ms(1), us(1_000));
+        assert_eq!(secs(1), ms(1_000));
+        assert_eq!(secs(3), 3_000_000_000);
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        assert_eq!(from_secs_f64(1.5), 1_500_000_000);
+        assert_eq!(from_secs_f64(0.0), 0);
+        assert_eq!(from_secs_f64(-2.0), 0);
+        assert_eq!(from_secs_f64(f64::NAN), 0);
+        let t = us(1234);
+        assert!((as_secs_f64(t) - 0.001234).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rounding_is_nearest() {
+        assert_eq!(from_secs_f64(1.4e-9), 1);
+        assert_eq!(from_secs_f64(1.6e-9), 2);
+    }
+
+    #[test]
+    fn formatting_picks_unit() {
+        assert_eq!(format(12), "12ns");
+        assert_eq!(format(us(12)), "12.00us");
+        assert_eq!(format(ms(12)), "12.00ms");
+        assert_eq!(format(secs(2)), "2.000s");
+    }
+}

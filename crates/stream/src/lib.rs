@@ -1,0 +1,24 @@
+//! `hupc-stream` — the STREAM triad studies of the thesis.
+//!
+//! Two experiments use the triad kernel `a[i] = b[i] + s·c[i]`:
+//!
+//! * **Twisted triad** (§3.3.1, Table 3.1): odd/even neighbour threads read
+//!   each other's `b`/`c`, so every access goes through a pointer-to-shared.
+//!   Four variants — fine-grained baseline, bulk re-localization,
+//!   `bupc_cast` privatization, and an OpenMP-style pure-shared-memory
+//!   analogue — separate the *pointer translation* cost from the *memory
+//!   bandwidth* cost.
+//! * **Hybrid placement** (§4.3.2, Table 4.1): the arrays belong to 1, 2 or
+//!   4 UPC threads and are touched by OpenMP-style sub-threads; first-touch
+//!   NUMA homing makes the 1×8 unbound configuration run at roughly half
+//!   the node's bandwidth.
+//!
+//! All variants execute the real floating-point kernel on the real array
+//! data (results are verified) and charge the modeled costs of the access
+//! path each variant takes.
+
+mod hybrid;
+mod twisted;
+
+pub use hybrid::{run_hybrid_triad, HybridConfig, HybridLayout};
+pub use twisted::{run_twisted_triad, TriadResult, TriadVariant, TwistedConfig};

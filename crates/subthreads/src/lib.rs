@@ -1,0 +1,28 @@
+//! `hupc-subthreads` — the thesis' second approach to hierarchical
+//! parallelism (Chapter 4): **nested shared-memory sub-threads** under each
+//! SPMD UPC thread.
+//!
+//! A UPC thread spawns a [`SubPool`] of persistent worker actors pinned to
+//! the PUs of its affinity mask (its socket under the thesis' `numactl`
+//! binding, the whole node when unbound). The pool exposes
+//!
+//! * [`SubPool::parallel_for`] — OpenMP-style static fork-join over an index
+//!   range;
+//! * [`SubPool::spawn_task`] / [`SubPool::sync`] — Cilk-style dynamic task
+//!   spawning with a shared queue;
+//!
+//! under three runtime [`Profile`]s reproducing the overhead ordering the
+//! thesis measures in Fig 4.6: **OpenMP** (cheapest fork-join) < **thread
+//! pool** (the thesis' in-house prototype) < **Cilk++** (highest per-spawn
+//! overhead, ~10% slower compute kernels, plus a fixed startup lag).
+//!
+//! Sub-threads can reach the PGAS through [`hupc_upc::UpcRuntime::view`];
+//! every such call is gated by the job's [`hupc_upc::ThreadSafety`] level —
+//! including the crash-on-`Funneled` behaviour the thesis reports for
+//! user-spawned pthreads (Berkeley UPC bug 2808).
+
+mod pool;
+mod profile;
+
+pub use pool::{SubPool, WorkerCtx};
+pub use profile::{Profile, SubthreadModel};

@@ -1,0 +1,472 @@
+//! The sub-thread pool: persistent worker actors under one UPC thread.
+
+use std::sync::Arc;
+
+use hupc_gasnet::Gasnet;
+use hupc_sim::{time, ActorRef, CondId, Ctx, SimCell, SimQueue, Time};
+use hupc_topo::{PuId, SocketId};
+use hupc_upc::{set_subthread_context, Upc};
+
+use crate::profile::{Profile, SubthreadModel};
+
+type Task = Box<dyn FnOnce(&WorkerCtx<'_>) + Send>;
+
+enum Msg {
+    Task(Task),
+    Stop,
+}
+
+/// What a task sees: its simulation context, its PU, and charge helpers.
+pub struct WorkerCtx<'a> {
+    ctx: &'a Ctx,
+    gasnet: Arc<Gasnet>,
+    pu: PuId,
+    index: usize,
+    efficiency: f64,
+}
+
+impl<'a> WorkerCtx<'a> {
+    /// Simulation context of this sub-thread (pass to
+    /// [`hupc_upc::UpcRuntime::view`] for PGAS access).
+    pub fn ctx(&self) -> &'a Ctx {
+        self.ctx
+    }
+
+    /// PU this sub-thread is pinned to.
+    pub fn pu(&self) -> PuId {
+        self.pu
+    }
+
+    /// Sub-thread index within the pool (0 = the master running inline).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Charge `work` of single-thread CPU time on this sub-thread's core,
+    /// scaled by the runtime's compute efficiency.
+    pub fn compute(&self, work: Time) {
+        let scaled = time::from_secs_f64(time::as_secs_f64(work) / self.efficiency);
+        self.gasnet.compute_on(self.ctx, self.pu, scaled);
+    }
+
+    /// Charge `flops` at `efficiency_of_peak`, additionally scaled by the
+    /// runtime's compute efficiency.
+    pub fn compute_flops(&self, flops: f64, efficiency_of_peak: f64) {
+        self.gasnet.compute_flops_on(
+            self.ctx,
+            self.pu,
+            flops,
+            (efficiency_of_peak * self.efficiency).min(1.0),
+        );
+    }
+
+    /// Charge streaming memory traffic against `home`.
+    pub fn mem_stream(&self, home: SocketId, bytes: usize) {
+        self.gasnet.mem_stream_on(self.ctx, self.pu, home, bytes);
+    }
+}
+
+struct PoolShared {
+    gasnet: Arc<Gasnet>,
+    queue: SimQueue<Msg>,
+    pending: SimCell<usize>,
+    done: CondId,
+    efficiency: f64,
+}
+
+/// A pool of sub-threads under one UPC thread (thesis §4.2.2's thread-pool
+/// pattern; the OpenMP and Cilk++ hybrids run on the same machinery with
+/// different [`Profile`]s).
+///
+/// Must be explicitly [`SubPool::shutdown`] before the owning thread
+/// finishes, or the simulation reports the workers as deadlocked.
+pub struct SubPool {
+    shared: Arc<PoolShared>,
+    profile: Profile,
+    pus: Vec<PuId>,
+    workers: Vec<ActorRef>,
+    owner: usize,
+    shut: bool,
+}
+
+impl SubPool {
+    /// Spawn `n_sub` sub-threads (including the master as sub-thread 0)
+    /// under UPC thread `upc.mythread()`, pinned per the thread's affinity
+    /// mask. Charges the runtime's startup lag.
+    pub fn spawn(upc: &Upc<'_>, n_sub: usize, model: SubthreadModel) -> SubPool {
+        assert!(n_sub >= 1);
+        let profile = Profile::of(model);
+        let gasnet = Arc::clone(upc.gasnet());
+        let me = upc.mythread();
+        let ctx = upc.ctx();
+        let pus = gasnet
+            .placement()
+            .subthread_pus(gasnet.machine(), me, n_sub);
+        for &pu in &pus[1..] {
+            gasnet.occupy_pu(pu);
+        }
+        let (queue, done) = ctx.with_kernel(|k| (SimQueue::new(k), k.new_cond()));
+        let shared = Arc::new(PoolShared {
+            gasnet: Arc::clone(&gasnet),
+            queue,
+            pending: SimCell::new(0),
+            done,
+            efficiency: profile.compute_efficiency,
+        });
+        ctx.advance(profile.startup_lag);
+        let workers: Vec<ActorRef> = pus[1..]
+            .iter()
+            .enumerate()
+            .map(|(i, &pu)| {
+                let shared = Arc::clone(&shared);
+                let per_task = profile.per_task;
+                ctx.spawn(format!("sub{me}.{}", i + 1), move |wctx| {
+                    set_subthread_context(true);
+                    loop {
+                        match shared.queue.pop(wctx) {
+                            Msg::Stop => break,
+                            Msg::Task(t) => {
+                                wctx.advance(per_task);
+                                let w = WorkerCtx {
+                                    ctx: wctx,
+                                    gasnet: Arc::clone(&shared.gasnet),
+                                    pu,
+                                    index: i + 1,
+                                    efficiency: shared.efficiency,
+                                };
+                                t(&w);
+                                let left = shared.pending.with_mut(|p| {
+                                    *p -= 1;
+                                    *p
+                                });
+                                if left == 0 {
+                                    wctx.cond_notify_all(shared.done);
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        SubPool {
+            shared,
+            profile,
+            pus,
+            workers,
+            owner: me,
+            shut: false,
+        }
+    }
+
+    /// Sub-threads in the pool (master included).
+    pub fn size(&self) -> usize {
+        self.pus.len()
+    }
+
+    /// The runtime profile backing this pool.
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// UPC thread owning the pool.
+    pub fn owner(&self) -> usize {
+        self.owner
+    }
+
+    fn master_worker<'b>(&self, ctx: &'b Ctx) -> WorkerCtx<'b> {
+        WorkerCtx {
+            ctx,
+            gasnet: Arc::clone(&self.shared.gasnet),
+            pu: self.pus[0],
+            index: 0,
+            efficiency: self.shared.efficiency,
+        }
+    }
+
+    /// OpenMP-style `parallel for` with static scheduling: `items` indices
+    /// split into `size()` contiguous chunks, chunk 0 run inline by the
+    /// master, the rest dispatched to workers. Blocks (in virtual time)
+    /// until every chunk finishes — the region's implicit barrier.
+    pub fn parallel_for<F>(&self, ctx: &Ctx, items: usize, f: F)
+    where
+        F: Fn(&WorkerCtx<'_>, std::ops::Range<usize>) + Send + Sync + 'static,
+    {
+        let nw = self.pus.len();
+        let f = Arc::new(f);
+        ctx.advance(self.profile.region_fork);
+        let per = items.div_ceil(nw);
+        let chunk = |i: usize| (i * per).min(items)..((i + 1) * per).min(items);
+        // Dispatch chunks 1.. to workers first so they start concurrently.
+        let dispatched = nw.saturating_sub(1);
+        if dispatched > 0 {
+            self.shared.pending.with_mut(|p| *p += dispatched);
+            for i in 1..nw {
+                let f = Arc::clone(&f);
+                let r = chunk(i);
+                self.shared
+                    .queue
+                    .push(ctx, Msg::Task(Box::new(move |w| f(w, r))));
+            }
+        }
+        // Master's own chunk, inline.
+        ctx.advance(self.profile.per_task);
+        let w = self.master_worker(ctx);
+        f(&w, chunk(0));
+        // Implicit barrier.
+        while self.shared.pending.get() > 0 {
+            ctx.cond_wait(self.shared.done);
+        }
+        ctx.advance(self.profile.region_join);
+    }
+
+    /// Cilk-style dynamic spawn: enqueue one task for any idle worker.
+    /// Pair with [`SubPool::sync`].
+    pub fn spawn_task<F>(&self, ctx: &Ctx, f: F)
+    where
+        F: FnOnce(&WorkerCtx<'_>) + Send + 'static,
+    {
+        ctx.advance(self.profile.per_task); // spawn cost on the spawner
+        self.shared.pending.with_mut(|p| *p += 1);
+        self.shared.queue.push(ctx, Msg::Task(Box::new(f)));
+    }
+
+    /// `cilk_sync`: wait until all spawned tasks have finished.
+    pub fn sync(&self, ctx: &Ctx) {
+        while self.shared.pending.get() > 0 {
+            ctx.cond_wait(self.shared.done);
+        }
+        ctx.advance(self.profile.region_join);
+    }
+
+    /// Stop and join all workers, releasing their PUs. Mandatory before the
+    /// owning UPC thread returns.
+    pub fn shutdown(mut self, ctx: &Ctx) {
+        assert_eq!(
+            self.shared.pending.get(),
+            0,
+            "shutdown with tasks in flight; call sync() first"
+        );
+        for _ in 0..self.workers.len() {
+            self.shared.queue.push_broadcast(ctx, Msg::Stop);
+        }
+        for w in self.workers.drain(..) {
+            ctx.join(w);
+        }
+        for &pu in &self.pus[1..] {
+            self.shared.gasnet.release_pu(pu);
+        }
+        self.shut = true;
+    }
+}
+
+impl std::fmt::Debug for SubPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubPool")
+            .field("owner", &self.owner)
+            .field("size", &self.pus.len())
+            .field("model", &self.profile.model)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hupc_sim::SimCell;
+    use hupc_upc::{ThreadSafety, UpcConfig, UpcJob};
+
+    fn one_thread_job() -> UpcJob {
+        UpcJob::new(UpcConfig::test_default(1, 1))
+    }
+
+    #[test]
+    fn parallel_for_covers_all_indices() {
+        let hits = Arc::new(SimCell::new(vec![0u32; 103]));
+        let h2 = Arc::clone(&hits);
+        let job = one_thread_job();
+        job.run(move |upc| {
+            let pool = SubPool::spawn(&upc, 4, SubthreadModel::OpenMp);
+            let h3 = Arc::clone(&h2);
+            pool.parallel_for(upc.ctx(), 103, move |_w, range| {
+                h3.with_mut(|v| {
+                    for i in range {
+                        v[i] += 1;
+                    }
+                });
+            });
+            pool.shutdown(upc.ctx());
+        });
+        assert!(hits.with(|v| v.iter().all(|&c| c == 1)));
+    }
+
+    #[test]
+    fn work_actually_runs_in_parallel_virtual_time() {
+        // Unbound ⇒ the pool may use the whole node's 4 cores.
+        let mut cfg = UpcConfig::test_default(1, 1);
+        cfg.gasnet.bind = hupc_topo::BindPolicy::Unbound;
+        let job = UpcJob::new(cfg);
+        job.run(move |upc| {
+            let pool = SubPool::spawn(&upc, 4, SubthreadModel::OpenMp);
+            let t0 = upc.now();
+            // 4 chunks × 1ms of compute on 4 distinct cores ⇒ ~1ms, not 4ms.
+            pool.parallel_for(upc.ctx(), 4, |w, range| {
+                for _ in range {
+                    w.compute(time::ms(1));
+                }
+            });
+            let dt = upc.now() - t0;
+            assert!(dt < time::ms(2), "parallel region took {}", time::format(dt));
+            assert!(dt >= time::ms(1));
+            pool.shutdown(upc.ctx());
+        });
+    }
+
+    #[test]
+    fn dynamic_spawn_and_sync() {
+        let count = Arc::new(SimCell::new(0u64));
+        let c2 = Arc::clone(&count);
+        let job = one_thread_job();
+        job.run(move |upc| {
+            let pool = SubPool::spawn(&upc, 3, SubthreadModel::Cilk);
+            for i in 0..10u64 {
+                let c = Arc::clone(&c2);
+                pool.spawn_task(upc.ctx(), move |w| {
+                    w.compute(time::us(i + 1));
+                    c.with_mut(|v| *v += i);
+                });
+            }
+            pool.sync(upc.ctx());
+            assert_eq!(c2.get(), 45);
+            pool.shutdown(upc.ctx());
+        });
+    }
+
+    #[test]
+    fn cilk_pays_startup_lag() {
+        let job = one_thread_job();
+        job.run(move |upc| {
+            let t0 = upc.now();
+            let pool = SubPool::spawn(&upc, 2, SubthreadModel::Cilk);
+            assert!(upc.now() - t0 >= time::ms(200));
+            pool.shutdown(upc.ctx());
+        });
+    }
+
+    #[test]
+    fn cilk_compute_is_slower() {
+        fn region_time(model: SubthreadModel) -> Time {
+            let out = Arc::new(SimCell::new(0u64));
+            let o2 = Arc::clone(&out);
+            let job = one_thread_job();
+            job.run(move |upc| {
+                let pool = SubPool::spawn(&upc, 2, model);
+                let t0 = upc.now();
+                pool.parallel_for(upc.ctx(), 2, |w, range| {
+                    for _ in range {
+                        w.compute(time::ms(10));
+                    }
+                });
+                o2.with_mut(|v| *v = upc.now() - t0);
+                pool.shutdown(upc.ctx());
+            });
+            out.get()
+        }
+        let omp = region_time(SubthreadModel::OpenMp);
+        let cilk = region_time(SubthreadModel::Cilk);
+        assert!(
+            cilk as f64 > omp as f64 * 1.08,
+            "cilk {cilk} vs omp {omp}"
+        );
+    }
+
+    #[test]
+    fn subthreads_can_reach_the_pgas_under_thread_multiple() {
+        let mut cfg = UpcConfig::test_default(2, 1);
+        cfg.safety = ThreadSafety::Multiple;
+        let job = UpcJob::new(cfg);
+        let rt = Arc::clone(job.runtime());
+        let off = rt.alloc_words(4);
+        let rt2 = Arc::clone(&rt);
+        job.run(move |upc| {
+            let me = upc.mythread();
+            if me == 0 {
+                let pool = SubPool::spawn(&upc, 2, SubthreadModel::Pool);
+                let rt3 = Arc::clone(&rt2);
+                pool.parallel_for(upc.ctx(), 2, move |w, range| {
+                    // sub-thread puts into thread 1's partition directly
+                    let view = rt3.view(w.ctx(), 0);
+                    for i in range {
+                        view.memput(1, off + i, &[900 + i as u64]);
+                    }
+                });
+                pool.shutdown(upc.ctx());
+            }
+            upc.barrier();
+            if me == 1 {
+                assert_eq!(upc.gasnet().segment(1).read_word(off), 900);
+                assert_eq!(upc.gasnet().segment(1).read_word(off + 1), 901);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "THREAD_FUNNELED")]
+    fn funneled_crashes_subthread_pgas_access() {
+        let mut cfg = UpcConfig::test_default(1, 1);
+        cfg.safety = ThreadSafety::Funneled;
+        let job = UpcJob::new(cfg);
+        let rt = Arc::clone(job.runtime());
+        let off = rt.alloc_words(1);
+        let rt2 = Arc::clone(&rt);
+        job.run(move |upc| {
+            let pool = SubPool::spawn(&upc, 2, SubthreadModel::OpenMp);
+            let rt3 = Arc::clone(&rt2);
+            pool.parallel_for(upc.ctx(), 2, move |w, range| {
+                if w.index() == 1 {
+                    let view = rt3.view(w.ctx(), 0);
+                    for i in range {
+                        view.memput(0, off, &[i as u64]);
+                    }
+                }
+            });
+            pool.shutdown(upc.ctx());
+        });
+    }
+
+    #[test]
+    fn smt_occupancy_slows_oversubscribed_cores() {
+        // testbox has no SMT; use a 1-thread Lehman-style config instead.
+        use hupc_gasnet::{Backend, GasnetConfig};
+        use hupc_topo::{BindPolicy, MachineSpec};
+        let cfg = UpcConfig {
+            gasnet: GasnetConfig {
+                machine: MachineSpec::lehman().with_nodes(1),
+                n_threads: 1,
+                nodes_used: 1,
+                bind: BindPolicy::RoundRobinSockets,
+                backend: Backend::processes_pshm(),
+                conduit: hupc_net::Conduit::ib_qdr(),
+                segment_words: 1 << 12,
+                overheads: None,
+            },
+            safety: ThreadSafety::Multiple,
+        };
+        let job = UpcJob::new(cfg);
+        job.run(move |upc| {
+            // 8 sub-threads on a 4-core SMT-2 socket: cores oversubscribed.
+            let pool = SubPool::spawn(&upc, 8, SubthreadModel::OpenMp);
+            let t0 = upc.now();
+            pool.parallel_for(upc.ctx(), 8, |w, range| {
+                for _ in range {
+                    w.compute(time::ms(10));
+                }
+            });
+            let dt8 = upc.now() - t0;
+            pool.shutdown(upc.ctx());
+            // 8 threads × 10ms over 4 SMT-2 cores at 1.15 aggregate
+            // ⇒ ≈ 10ms × 2/1.15 ≈ 17.4ms, clearly more than 10ms.
+            assert!(dt8 > time::ms(16), "dt8 = {}", time::format(dt8));
+            assert!(dt8 < time::ms(20), "dt8 = {}", time::format(dt8));
+        });
+    }
+}

@@ -1,0 +1,105 @@
+//! Sub-thread runtime overhead profiles.
+//!
+//! The thesis evaluates three backing runtimes for hierarchical sub-threads
+//! (§4.2, §4.3.3): OpenMP directives, Cilk++ `cilk_spawn`, and an in-house
+//! pthread thread-pool prototype. Their relative costs — not their
+//! programming models — are what differentiates the Fig 4.6 curves, so the
+//! model captures each as a small set of constants.
+
+use hupc_sim::{time, Time};
+
+/// Which runtime backs a pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SubthreadModel {
+    /// GCC OpenMP 2.5-style static fork-join (the best performer).
+    OpenMp,
+    /// Cilk++ work-stealing spawn (highest overhead: the thesis measures
+    /// ~10% slower FFT kernels and a constant ~0.2 s lag).
+    Cilk,
+    /// The thesis' in-house pthread thread-pool prototype (in between).
+    Pool,
+}
+
+/// Cost constants for one runtime.
+#[derive(Clone, Copy, Debug)]
+pub struct Profile {
+    pub model: SubthreadModel,
+    /// Master-side cost to open a parallel region / task batch.
+    pub region_fork: Time,
+    /// Master-side cost to close it (implicit barrier).
+    pub region_join: Time,
+    /// Worker-side cost per dispatched task/chunk.
+    pub per_task: Time,
+    /// Efficiency multiplier on compute charged through [`super::WorkerCtx`]
+    /// (< 1 ⇒ slower kernels; captures Cilk++'s measured FFT slowdown).
+    pub compute_efficiency: f64,
+    /// One-time cost at pool creation (Cilk++'s constant lag).
+    pub startup_lag: Time,
+}
+
+impl Profile {
+    pub fn of(model: SubthreadModel) -> Profile {
+        match model {
+            SubthreadModel::OpenMp => Profile {
+                model,
+                region_fork: time::ns(1_200),
+                region_join: time::ns(800),
+                per_task: time::ns(300),
+                compute_efficiency: 1.0,
+                startup_lag: time::us(40),
+            },
+            SubthreadModel::Pool => Profile {
+                model,
+                region_fork: time::ns(2_500),
+                region_join: time::ns(1_500),
+                per_task: time::ns(800),
+                compute_efficiency: 1.0,
+                startup_lag: time::us(60),
+            },
+            SubthreadModel::Cilk => Profile {
+                model,
+                region_fork: time::ns(4_000),
+                region_join: time::ns(2_000),
+                per_task: time::ns(1_500),
+                compute_efficiency: 0.90,
+                startup_lag: time::ms(200),
+            },
+        }
+    }
+
+    /// Short display name matching the thesis figures.
+    pub fn name(&self) -> &'static str {
+        match self.model {
+            SubthreadModel::OpenMp => "OpenMP",
+            SubthreadModel::Cilk => "Cilk++",
+            SubthreadModel::Pool => "Thread-Pool",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_ordering_matches_thesis() {
+        let omp = Profile::of(SubthreadModel::OpenMp);
+        let pool = Profile::of(SubthreadModel::Pool);
+        let cilk = Profile::of(SubthreadModel::Cilk);
+        assert!(omp.region_fork < pool.region_fork);
+        assert!(pool.region_fork < cilk.region_fork);
+        assert!(omp.per_task < pool.per_task);
+        assert!(pool.per_task < cilk.per_task);
+        // Cilk++: slower kernels and a startup lag of ~0.2 s
+        assert!(cilk.compute_efficiency < 1.0);
+        assert_eq!(cilk.startup_lag, time::ms(200));
+        assert_eq!(omp.compute_efficiency, 1.0);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Profile::of(SubthreadModel::OpenMp).name(), "OpenMP");
+        assert_eq!(Profile::of(SubthreadModel::Cilk).name(), "Cilk++");
+        assert_eq!(Profile::of(SubthreadModel::Pool).name(), "Thread-Pool");
+    }
+}

@@ -1,0 +1,57 @@
+//! Typed identifiers for topology objects, all machine-global and dense.
+
+/// A hardware thread (processing unit), global across the machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PuId(pub usize);
+
+/// A physical core, global across the machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CoreId(pub usize);
+
+/// A CPU socket (= ccNUMA domain on both evaluation platforms).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SocketId(pub usize);
+
+/// A cluster node (one shared-memory domain behind one network address).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Proximity between two PUs, ordered closest-first. This is the "thread
+/// layout query" of §3.2.1, extended below node granularity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Level {
+    /// Same physical core (SMT siblings).
+    SameCore,
+    /// Same socket / ccNUMA domain.
+    SameSocket,
+    /// Same node (shared-memory reachable, cross-socket).
+    SameNode,
+    /// Different nodes (network only).
+    Remote,
+}
+
+impl Level {
+    /// Whether two PUs at this proximity can share physical memory.
+    pub fn shares_memory(self) -> bool {
+        self != Level::Remote
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_closest_first() {
+        assert!(Level::SameCore < Level::SameSocket);
+        assert!(Level::SameSocket < Level::SameNode);
+        assert!(Level::SameNode < Level::Remote);
+    }
+
+    #[test]
+    fn memory_sharing() {
+        assert!(Level::SameCore.shares_memory());
+        assert!(Level::SameNode.shares_memory());
+        assert!(!Level::Remote.shares_memory());
+    }
+}

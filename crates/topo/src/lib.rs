@@ -1,0 +1,30 @@
+//! `hupc-topo` — hardware topology model for simulated clusters of SMPs.
+//!
+//! Plays the role `hwloc` and the physical machines play in the thesis: it
+//! describes machines as a tree *machine → node → socket → core → PU*
+//! (PU = processing unit, i.e. hardware thread), with per-level cache sizes,
+//! NUMA parameters and network-facing attributes, and answers the locality
+//! queries the rest of the stack asks ("are these two software threads on the
+//! same node/socket/core?", "which PUs does this socket own?").
+//!
+//! The two evaluation platforms of the thesis are included as presets:
+//!
+//! * [`MachineSpec::lehman`] — 12 nodes × 2 × 4-core Intel Nehalem, SMT-2,
+//!   QDR InfiniBand;
+//! * [`MachineSpec::pyramid`] — 128 nodes × 2 × 4-core AMD Barcelona,
+//!   DDR InfiniBand (plus a GigE conduit for the UTS study).
+//!
+//! Software-thread → PU assignment is a [`Placement`], built from a
+//! [`BindPolicy`] that mirrors the thesis' `numactl` practice.
+
+mod bitmask;
+mod ids;
+mod machine;
+pub mod placement;
+mod spec;
+
+pub use bitmask::AffinityMask;
+pub use ids::{CoreId, Level, NodeId, PuId, SocketId};
+pub use machine::Machine;
+pub use placement::{BindPolicy, Placement};
+pub use spec::{CacheSpec, MachineSpec};

@@ -1,0 +1,201 @@
+//! Machine specifications: the numbers behind the model, including the two
+//! thesis platforms (Table 2.1 of the thesis).
+
+/// Per-core / per-socket cache sizes, bytes. Informational for the model
+//  (cache-resident working sets are charged at higher effective bandwidth).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CacheSpec {
+    /// L1 data cache per core.
+    pub l1d: usize,
+    /// Unified L2 per core.
+    pub l2: usize,
+    /// Shared L3 per socket.
+    pub l3: usize,
+}
+
+/// Full description of a cluster platform.
+///
+/// All bandwidths are bytes/second; rates are per second. The derived
+/// helpers (`pus_per_node`, …) are what the rest of the stack uses.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MachineSpec {
+    /// Human-readable platform name.
+    pub name: &'static str,
+    /// Number of cluster nodes.
+    pub nodes: usize,
+    /// Sockets (= ccNUMA domains) per node.
+    pub sockets_per_node: usize,
+    /// Physical cores per socket.
+    pub cores_per_socket: usize,
+    /// Hardware threads per core (1 = no SMT).
+    pub smt_per_core: usize,
+    /// Core clock, Hz.
+    pub clock_hz: f64,
+    /// Double-precision flops per cycle per core (SIMD width × ports).
+    pub flops_per_cycle: f64,
+    /// Cache sizes.
+    pub cache: CacheSpec,
+    /// Sustained memory bandwidth per socket (STREAM-like), bytes/s.
+    pub mem_bw_per_socket: f64,
+    /// Multiplier on access cost when the data's home socket differs from
+    /// the accessing PU's socket (thesis: remote-socket accesses are
+    /// "about 15% to 40% slower"; we model the midpoint).
+    pub numa_remote_factor: f64,
+    /// Aggregate throughput of one core when both SMT threads are busy,
+    /// relative to a single thread (e.g. 1.15 ⇒ each SMT thread runs at
+    /// 57.5% speed). 1.0 when `smt_per_core == 1`.
+    pub smt_aggregate_speedup: f64,
+}
+
+impl MachineSpec {
+    /// *Lehman*: 12 Sun/Intel nodes, dual-socket quad-core Nehalem
+    /// (Xeon E5520, 2.27 GHz, SMT-2), QDR InfiniBand. Thesis Table 2.1.
+    pub fn lehman() -> Self {
+        MachineSpec {
+            name: "lehman",
+            nodes: 12,
+            sockets_per_node: 2,
+            cores_per_socket: 4,
+            smt_per_core: 2,
+            clock_hz: 2.27e9,
+            flops_per_cycle: 4.0, // 128-bit SSE mul+add
+            cache: CacheSpec {
+                l1d: 32 << 10,
+                l2: 256 << 10,
+                l3: 8 << 20,
+            },
+            mem_bw_per_socket: 12.3e9,
+            numa_remote_factor: 1.28,
+            smt_aggregate_speedup: 1.15,
+        }
+    }
+
+    /// *Pyramid*: 128 Sun X2200 nodes, dual-socket quad-core Barcelona
+    /// (Opteron 2354, 2.2 GHz), DDR InfiniBand + GigE. Thesis Table 2.1.
+    pub fn pyramid() -> Self {
+        MachineSpec {
+            name: "pyramid",
+            nodes: 128,
+            sockets_per_node: 2,
+            cores_per_socket: 4,
+            smt_per_core: 1,
+            clock_hz: 2.2e9,
+            flops_per_cycle: 4.0,
+            cache: CacheSpec {
+                l1d: 64 << 10,
+                l2: 512 << 10,
+                l3: 2 << 20,
+            },
+            mem_bw_per_socket: 8.5e9,
+            numa_remote_factor: 1.28,
+            smt_aggregate_speedup: 1.0,
+        }
+    }
+
+    /// A small laptop-scale platform for tests and examples: 4 nodes,
+    /// 2 sockets × 2 cores, no SMT.
+    pub fn small_test(nodes: usize) -> Self {
+        MachineSpec {
+            name: "testbox",
+            nodes,
+            sockets_per_node: 2,
+            cores_per_socket: 2,
+            smt_per_core: 1,
+            clock_hz: 2.0e9,
+            flops_per_cycle: 2.0,
+            cache: CacheSpec {
+                l1d: 32 << 10,
+                l2: 256 << 10,
+                l3: 4 << 20,
+            },
+            mem_bw_per_socket: 10.0e9,
+            numa_remote_factor: 1.3,
+            smt_aggregate_speedup: 1.0,
+        }
+    }
+
+    /// Restrict the spec to the first `nodes` nodes (the thesis uses 2, 4, 8
+    /// or 16 nodes of each cluster per experiment).
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        assert!(nodes >= 1);
+        self.nodes = nodes;
+        self
+    }
+
+    // ----- derived counts ---------------------------------------------------
+
+    /// Physical cores per node.
+    pub fn cores_per_node(&self) -> usize {
+        self.sockets_per_node * self.cores_per_socket
+    }
+
+    /// Hardware threads per socket.
+    pub fn pus_per_socket(&self) -> usize {
+        self.cores_per_socket * self.smt_per_core
+    }
+
+    /// Hardware threads per node.
+    pub fn pus_per_node(&self) -> usize {
+        self.sockets_per_node * self.pus_per_socket()
+    }
+
+    /// Hardware threads in the whole machine.
+    pub fn pus_total(&self) -> usize {
+        self.nodes * self.pus_per_node()
+    }
+
+    /// Physical cores in the whole machine.
+    pub fn cores_total(&self) -> usize {
+        self.nodes * self.cores_per_node()
+    }
+
+    /// Peak double-precision flops per core, per second.
+    pub fn peak_flops_per_core(&self) -> f64 {
+        self.clock_hz * self.flops_per_cycle
+    }
+
+    /// Peak node flops (the thesis quotes 72 GF for Lehman, 70.4 GF for
+    /// Pyramid).
+    pub fn peak_flops_per_node(&self) -> f64 {
+        self.peak_flops_per_core() * self.cores_per_node() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lehman_matches_table_2_1() {
+        let m = MachineSpec::lehman();
+        assert_eq!(m.cores_per_node(), 8);
+        assert_eq!(m.pus_per_node(), 16);
+        assert_eq!(m.nodes, 12);
+        // 72.64 GFlops/node quoted as 72 in the thesis
+        assert!((m.peak_flops_per_node() / 1e9 - 72.64).abs() < 0.1);
+    }
+
+    #[test]
+    fn pyramid_matches_table_2_1() {
+        let m = MachineSpec::pyramid();
+        assert_eq!(m.cores_per_node(), 8);
+        assert_eq!(m.pus_per_node(), 8);
+        assert_eq!(m.nodes, 128);
+        assert_eq!(m.cores_total(), 1024);
+        assert!((m.peak_flops_per_node() / 1e9 - 70.4).abs() < 0.1);
+    }
+
+    #[test]
+    fn with_nodes_restricts() {
+        let m = MachineSpec::pyramid().with_nodes(16);
+        assert_eq!(m.nodes, 16);
+        assert_eq!(m.pus_total(), 128);
+    }
+
+    #[test]
+    fn smt_free_machine_has_no_smt_speedup() {
+        let m = MachineSpec::pyramid();
+        assert_eq!(m.smt_per_core, 1);
+        assert_eq!(m.smt_aggregate_speedup, 1.0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Collective operations: broadcast, reductions, and all-to-all exchange.
+//!
+//! UPC 1.2 ships these in `upc_collective.h`; the thesis additionally leans
+//! on hand-written point-to-point exchanges (its FT all-to-all). Here the
+//! collectives are built from the same one-sided primitives a UPC programmer
+//! would use, so their modeled cost is the sum of the underlying puts/gets
+//! plus barriers.
+
+use crate::elem::PgasElem;
+use crate::runtime::{Upc, SCRATCH_WORDS};
+use crate::shared::SharedArray;
+
+impl<'a> Upc<'a> {
+    /// Broadcast `words` from `root` to every thread (in place). Gather-free
+    /// binomial tree: log₂(THREADS) rounds of puts, one barrier per round.
+    pub fn broadcast_words(&self, root: usize, words: &mut [u64]) {
+        let p = self.threads();
+        let me = self.mythread();
+        assert!(words.len() <= SCRATCH_WORDS / 2, "broadcast exceeds scratch");
+        let scratch = self.runtime().scratch_off;
+        // Rotate ranks so root is rank 0.
+        let rel = (me + p - root) % p;
+        if rel == 0 {
+            self.gasnet().segment(me).write(scratch, words);
+        }
+        let mut stride = 1;
+        while stride < p {
+            self.barrier();
+            if rel < stride && rel + stride < p {
+                let target = (root + rel + stride) % p;
+                let mut buf = vec![0u64; words.len()];
+                self.gasnet().segment(me).read(scratch, &mut buf);
+                self.memput(target, scratch, &buf);
+            }
+            stride <<= 1;
+        }
+        self.barrier();
+        self.gasnet().segment(me).read(scratch, words);
+    }
+
+    /// Broadcast one word from `root`.
+    pub fn broadcast_word(&self, root: usize, v: u64) -> u64 {
+        let mut w = [v];
+        self.broadcast_words(root, &mut w);
+        w[0]
+    }
+
+    /// All-reduce a word with a combining function (must be associative and
+    /// commutative). Gather-to-root then broadcast; cost is `THREADS` puts
+    /// into the root plus the broadcast tree.
+    pub fn allreduce_words<F>(&self, v: u64, combine: F) -> u64
+    where
+        F: Fn(u64, u64) -> u64,
+    {
+        let p = self.threads();
+        let me = self.mythread();
+        assert!(p <= SCRATCH_WORDS / 2, "too many threads for scratch gather");
+        let gather = self.runtime().scratch_off + SCRATCH_WORDS / 2;
+        self.memput(0, gather + me, &[v]);
+        self.barrier();
+        let result = if me == 0 {
+            let mut all = vec![0u64; p];
+            self.gasnet().segment(0).read(gather, &mut all);
+            let mut acc = all[0];
+            for &x in &all[1..] {
+                acc = combine(acc, x);
+            }
+            acc
+        } else {
+            0
+        };
+        self.broadcast_word(0, result)
+    }
+
+    /// All-reduce an `f64` sum.
+    pub fn allreduce_sum_f64(&self, v: f64) -> f64 {
+        // Gather raw bits; combine as floats at the root for determinism.
+        let p = self.threads();
+        let me = self.mythread();
+        assert!(p <= SCRATCH_WORDS / 2);
+        let gather = self.runtime().scratch_off + SCRATCH_WORDS / 2;
+        self.memput(0, gather + me, &[v.to_bits()]);
+        self.barrier();
+        let result = if me == 0 {
+            let mut all = vec![0u64; p];
+            self.gasnet().segment(0).read(gather, &mut all);
+            all.iter().map(|&b| f64::from_bits(b)).sum::<f64>()
+        } else {
+            0.0
+        };
+        f64::from_bits(self.broadcast_word(0, result.to_bits()))
+    }
+
+    /// All-reduce a `u64` sum.
+    pub fn allreduce_sum_u64(&self, v: u64) -> u64 {
+        self.allreduce_words(v, |a, b| a.wrapping_add(b))
+    }
+
+    /// All-reduce a `u64` max.
+    pub fn allreduce_max_u64(&self, v: u64) -> u64 {
+        self.allreduce_words(v, u64::max)
+    }
+
+    /// All-to-all exchange (`upc_all_exchange`): every thread's local chunk
+    /// of `src` holds `THREADS` blocks of `count` elements; block `j` lands
+    /// in `dst`'s chunk on thread `j` at block position `MYTHREAD`.
+    ///
+    /// `blocking` selects per-put blocking (split-phase style) vs issuing
+    /// all puts non-blocking and draining at the end.
+    pub fn all_exchange<T: PgasElem>(
+        &self,
+        src: SharedArray<T>,
+        dst: SharedArray<T>,
+        count: usize,
+        blocking: bool,
+    ) {
+        let p = self.threads();
+        let me = self.mythread();
+        assert!(src.per_thread_elems() >= p * count, "src chunk too small");
+        assert!(dst.per_thread_elems() >= p * count, "dst chunk too small");
+        let wpe = T::WORDS;
+        let mut handles = Vec::new();
+        for step in 0..p {
+            // Stagger targets to avoid all threads hammering thread 0 first.
+            let target = (me + step) % p;
+            let mut buf = vec![0u64; count * wpe];
+            self.gasnet()
+                .segment(me)
+                .read(src.word_offset() + target * count * wpe, &mut buf);
+            let dst_off = dst.word_offset() + me * count * wpe;
+            if blocking {
+                self.memput(target, dst_off, &buf);
+            } else {
+                handles.push(self.memput_nb(target, dst_off, &buf));
+            }
+        }
+        for h in handles {
+            self.wait_sync(h);
+        }
+        self.barrier();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runtime::{UpcConfig, UpcJob};
+    // (SharedArray helpers come in via the outer scope where needed)
+
+    #[test]
+    fn broadcast_from_each_root() {
+        let job = UpcJob::new(UpcConfig::test_default(4, 2));
+        job.run(|upc| {
+            for root in 0..4 {
+                let v = if upc.mythread() == root { 42 + root as u64 } else { 0 };
+                let got = upc.broadcast_word(root, v);
+                assert_eq!(got, 42 + root as u64);
+            }
+        });
+    }
+
+    #[test]
+    fn broadcast_multi_word_payload() {
+        let job = UpcJob::new(UpcConfig::test_default(6, 2));
+        job.run(|upc| {
+            let mut payload = if upc.mythread() == 2 {
+                vec![1, 2, 3, 4, 5]
+            } else {
+                vec![0; 5]
+            };
+            upc.broadcast_words(2, &mut payload);
+            assert_eq!(payload, vec![1, 2, 3, 4, 5]);
+        });
+    }
+
+    #[test]
+    fn reductions() {
+        let job = UpcJob::new(UpcConfig::test_default(4, 2));
+        job.run(|upc| {
+            let me = upc.mythread() as u64;
+            assert_eq!(upc.allreduce_sum_u64(me + 1), 1 + 2 + 3 + 4);
+            assert_eq!(upc.allreduce_max_u64(me * 10), 30);
+            let s = upc.allreduce_sum_f64(0.5 * (me as f64 + 1.0));
+            assert!((s - 5.0).abs() < 1e-12);
+        });
+    }
+
+    #[test]
+    fn exchange_transposes_blocks() {
+        let job = UpcJob::new(UpcConfig::test_default(4, 2));
+        let src = job.alloc_shared::<u64>(4 * 4 * 2, 8); // 2 elems × 4 blocks × 4 threads
+        let dst = job.alloc_shared::<u64>(4 * 4 * 2, 8);
+        job.run(move |upc| {
+            let me = upc.mythread();
+            // src block j on thread me = [me*100 + j*10, +1]
+            src.with_local_words(&upc, |w| {
+                for j in 0..4 {
+                    w[j * 2] = (me * 100 + j * 10) as u64;
+                    w[j * 2 + 1] = (me * 100 + j * 10 + 1) as u64;
+                }
+            });
+            upc.barrier();
+            upc.all_exchange(src, dst, 2, false);
+            // dst block j on thread me must be thread j's block me
+            dst.with_local_words(&upc, |w| {
+                for j in 0..4 {
+                    assert_eq!(w[j * 2], (j * 100 + me * 10) as u64);
+                    assert_eq!(w[j * 2 + 1], (j * 100 + me * 10 + 1) as u64);
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn exchange_blocking_matches_nonblocking_data() {
+        for blocking in [true, false] {
+            let job = UpcJob::new(UpcConfig::test_default(2, 2));
+            let src = job.alloc_shared::<u64>(2 * 2 * 3, 6);
+            let dst = job.alloc_shared::<u64>(2 * 2 * 3, 6);
+            job.run(move |upc| {
+                let me = upc.mythread();
+                src.with_local_words(&upc, |w| {
+                    for (i, x) in w.iter_mut().enumerate() {
+                        *x = (me * 1000 + i) as u64;
+                    }
+                });
+                upc.barrier();
+                upc.all_exchange(src, dst, 3, blocking);
+                dst.with_local_words(&upc, |w| {
+                    for j in 0..2 {
+                        for e in 0..3 {
+                            assert_eq!(w[j * 3 + e], (j * 1000 + me * 3 + e) as u64);
+                        }
+                    }
+                });
+            });
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Element types storable in the partitioned global address space.
+//!
+//! The PGAS is word-granular (`u64`, see `hupc-gasnet`); a `PgasElem` knows
+//! how to pack itself into a fixed number of words. All conversions are bit
+//! casts — no allocation, no precision loss.
+
+/// A fixed-size value that can live in shared memory.
+pub trait PgasElem: Copy + Send + 'static {
+    /// Words this element occupies.
+    const WORDS: usize;
+
+    /// Serialize into exactly `Self::WORDS` words.
+    fn to_words(self, out: &mut [u64]);
+
+    /// Deserialize from exactly `Self::WORDS` words.
+    fn from_words(words: &[u64]) -> Self;
+}
+
+impl PgasElem for u64 {
+    const WORDS: usize = 1;
+
+    #[inline]
+    fn to_words(self, out: &mut [u64]) {
+        out[0] = self;
+    }
+
+    #[inline]
+    fn from_words(words: &[u64]) -> Self {
+        words[0]
+    }
+}
+
+impl PgasElem for i64 {
+    const WORDS: usize = 1;
+
+    #[inline]
+    fn to_words(self, out: &mut [u64]) {
+        out[0] = self as u64;
+    }
+
+    #[inline]
+    fn from_words(words: &[u64]) -> Self {
+        words[0] as i64
+    }
+}
+
+impl PgasElem for f64 {
+    const WORDS: usize = 1;
+
+    #[inline]
+    fn to_words(self, out: &mut [u64]) {
+        out[0] = self.to_bits();
+    }
+
+    #[inline]
+    fn from_words(words: &[u64]) -> Self {
+        f64::from_bits(words[0])
+    }
+}
+
+/// `double complex`: the element type of the NAS FT grids.
+impl PgasElem for [f64; 2] {
+    const WORDS: usize = 2;
+
+    #[inline]
+    fn to_words(self, out: &mut [u64]) {
+        out[0] = self[0].to_bits();
+        out[1] = self[1].to_bits();
+    }
+
+    #[inline]
+    fn from_words(words: &[u64]) -> Self {
+        [f64::from_bits(words[0]), f64::from_bits(words[1])]
+    }
+}
+
+impl PgasElem for [u64; 2] {
+    const WORDS: usize = 2;
+
+    #[inline]
+    fn to_words(self, out: &mut [u64]) {
+        out.copy_from_slice(&self);
+    }
+
+    #[inline]
+    fn from_words(words: &[u64]) -> Self {
+        [words[0], words[1]]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: PgasElem + PartialEq + std::fmt::Debug>(v: T) {
+        let mut buf = vec![0u64; T::WORDS];
+        v.to_words(&mut buf);
+        assert_eq!(T::from_words(&buf), v);
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(0u64);
+        round_trip(u64::MAX);
+        round_trip(-42i64);
+        round_trip(i64::MIN);
+        round_trip(-0.0f64);
+        round_trip(1.5e-300f64);
+    }
+
+    #[test]
+    fn complex_round_trips() {
+        round_trip([1.25f64, -3.5f64]);
+        round_trip([u64::MAX, 0u64]);
+    }
+
+    #[test]
+    fn nan_bits_preserved() {
+        let v = f64::from_bits(0x7ff8_dead_beef_0001);
+        let mut buf = [0u64];
+        v.to_words(&mut buf);
+        assert_eq!(buf[0], 0x7ff8_dead_beef_0001);
+    }
+}

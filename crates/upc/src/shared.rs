@@ -1,0 +1,359 @@
+//! Block-cyclic shared arrays — the `shared [B] T a[N]` of UPC — plus
+//! privatized (cast) views.
+
+use std::marker::PhantomData;
+
+use hupc_gasnet::{AccessPath, WORD_BYTES};
+
+use crate::elem::PgasElem;
+use crate::runtime::{Upc, UpcRuntime};
+
+/// A distributed array over the PGAS with UPC's block-cyclic layout:
+/// element `i` lives in block `i / B`, and blocks round-robin over threads.
+///
+/// The handle is `Copy` and captures only layout; all access goes through a
+/// [`Upc`] view. Fine-grained `get`/`put` defer their modeled costs (see the
+/// crate docs); bulk and cast access charge directly.
+pub struct SharedArray<T> {
+    off: usize,
+    n: usize,
+    block: usize,
+    threads: usize,
+    per_thread_elems: usize,
+    _elem: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for SharedArray<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SharedArray<T> {}
+
+impl<T: PgasElem> SharedArray<T> {
+    /// Allocate `shared [block] T a[n]`. `block == 0` means `[*]`
+    /// (fully blocked: one contiguous chunk per thread).
+    pub(crate) fn allocate(rt: &UpcRuntime, n: usize, block: usize) -> Self {
+        assert!(n > 0, "empty shared arrays are not allocatable");
+        let threads = rt.gasnet().n_threads();
+        let block = if block == 0 { n.div_ceil(threads) } else { block };
+        let blocks_total = n.div_ceil(block);
+        let blocks_per_thread = blocks_total.div_ceil(threads);
+        let per_thread_elems = blocks_per_thread * block;
+        let off = rt.alloc_words(per_thread_elems * T::WORDS);
+        SharedArray {
+            off,
+            n,
+            block,
+            threads,
+            per_thread_elems,
+            _elem: PhantomData,
+        }
+    }
+
+    /// Total elements.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Block size (elements).
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Elements resident on each thread (padding included).
+    pub fn per_thread_elems(&self) -> usize {
+        self.per_thread_elems
+    }
+
+    /// Word offset of this array in every thread's segment.
+    pub fn word_offset(&self) -> usize {
+        self.off
+    }
+
+    /// Thread with affinity to element `i`.
+    pub fn owner(&self, i: usize) -> usize {
+        debug_assert!(i < self.n, "index {i} out of bounds {}", self.n);
+        (i / self.block) % self.threads
+    }
+
+    /// Element offset within the owner's local chunk.
+    pub fn local_index(&self, i: usize) -> usize {
+        (i / self.block) / self.threads * self.block + i % self.block
+    }
+
+    /// Word offset (within the owner's segment) of element `i`.
+    pub fn word_of(&self, i: usize) -> usize {
+        self.off + self.local_index(i) * T::WORDS
+    }
+
+    /// Indices with affinity to `me`, ascending — the index set
+    /// `upc_forall(i; …; &a[i])` gives that thread.
+    pub fn indices_with_affinity(&self, me: usize) -> impl Iterator<Item = usize> + '_ {
+        let block = self.block;
+        let threads = self.threads;
+        let n = self.n;
+        (me * block..n)
+            .step_by(block * threads)
+            .flat_map(move |start| start..(start + block).min(n))
+    }
+
+    // ----- fine-grained access (deferred costs) ------------------------------
+
+    /// `T v = a[i]` — a shared read through a pointer-to-shared.
+    pub fn get(&self, upc: &Upc<'_>, i: usize) -> T {
+        let o = self.owner(i);
+        let w = self.word_of(i);
+        let me = upc.mythread();
+        match upc.gasnet().path(me, o) {
+            AccessPath::Local | AccessPath::SameProcess | AccessPath::Pshm => {
+                upc.note_translation(1);
+                upc.note_socket_traffic(upc.segment_home(o), (T::WORDS * WORD_BYTES) as u64);
+                let mut buf = [0u64; 4];
+                let buf = &mut buf[..T::WORDS];
+                upc.gasnet().segment(o).read(w, buf);
+                T::from_words(buf)
+            }
+            _ => {
+                // Fine-grained remote access: full message cost, immediately.
+                let mut buf = [0u64; 4];
+                let buf = &mut buf[..T::WORDS];
+                upc.memget(o, w, buf);
+                T::from_words(buf)
+            }
+        }
+    }
+
+    /// `a[i] = v` — a shared write through a pointer-to-shared.
+    pub fn put(&self, upc: &Upc<'_>, i: usize, v: T) {
+        let o = self.owner(i);
+        let w = self.word_of(i);
+        let me = upc.mythread();
+        let mut buf = [0u64; 4];
+        let buf = &mut buf[..T::WORDS];
+        v.to_words(buf);
+        match upc.gasnet().path(me, o) {
+            AccessPath::Local | AccessPath::SameProcess | AccessPath::Pshm => {
+                upc.note_translation(1);
+                upc.note_socket_traffic(upc.segment_home(o), (T::WORDS * WORD_BYTES) as u64);
+                upc.gasnet().segment(o).write(w, buf);
+            }
+            _ => upc.memput(o, w, buf),
+        }
+    }
+
+    /// Initialize element `i` without charging model time (program setup,
+    /// like static initializers that the benchmarks don't time).
+    pub fn poke(&self, upc: &Upc<'_>, i: usize, v: T) {
+        let mut buf = [0u64; 4];
+        let buf = &mut buf[..T::WORDS];
+        v.to_words(buf);
+        upc.gasnet().segment(self.owner(i)).write(self.word_of(i), buf);
+    }
+
+    /// Read element `i` without charging model time (verification).
+    pub fn peek(&self, upc: &Upc<'_>, i: usize) -> T {
+        let mut buf = [0u64; 4];
+        let buf = &mut buf[..T::WORDS];
+        upc.gasnet().segment(self.owner(i)).read(self.word_of(i), buf);
+        T::from_words(buf)
+    }
+
+    // ----- privatized / bulk access --------------------------------------------
+
+    /// Scoped access to this thread's own chunk, as raw words. Free of
+    /// software cost (a privatized local pointer); the caller charges memory
+    /// traffic explicitly if the access is being timed.
+    pub fn with_local_words<R>(&self, upc: &Upc<'_>, f: impl FnOnce(&mut [u64]) -> R) -> R {
+        let me = upc.mythread();
+        upc.gasnet()
+            .segment(me)
+            .with_range_mut(self.off, self.per_thread_elems * T::WORDS, f)
+    }
+
+    /// Scoped access to `owner`'s chunk through a cast local pointer
+    /// (`bupc_cast`, §3.2.1). Panics if `owner` is not castable from this
+    /// thread — the NULL-return case of the real extension.
+    pub fn with_cast_words<R>(
+        &self,
+        upc: &Upc<'_>,
+        owner: usize,
+        f: impl FnOnce(&mut [u64]) -> R,
+    ) -> R {
+        assert!(
+            upc.gasnet().castable(upc.mythread(), owner),
+            "bupc_cast: thread {owner} does not share memory with {}",
+            upc.mythread()
+        );
+        upc.gasnet()
+            .segment(owner)
+            .with_range_mut(self.off, self.per_thread_elems * T::WORDS, f)
+    }
+
+    /// Bulk-read `count` elements starting at global index `i` (which must
+    /// lie within one owner's block range) via `upc_memget`.
+    pub fn memget_elems(&self, upc: &Upc<'_>, i: usize, count: usize) -> Vec<T> {
+        let o = self.owner(i);
+        debug_assert!(
+            count <= self.block - i % self.block || self.block >= self.n,
+            "memget_elems range crosses a block boundary"
+        );
+        let mut words = vec![0u64; count * T::WORDS];
+        upc.memget(o, self.word_of(i), &mut words);
+        words
+            .chunks_exact(T::WORDS)
+            .map(T::from_words)
+            .collect()
+    }
+
+    /// Bulk-write elements starting at global index `i` (single-owner range)
+    /// via `upc_memput`.
+    pub fn memput_elems(&self, upc: &Upc<'_>, i: usize, vals: &[T]) {
+        let o = self.owner(i);
+        let mut words = vec![0u64; vals.len() * T::WORDS];
+        for (v, chunk) in vals.iter().zip(words.chunks_exact_mut(T::WORDS)) {
+            v.to_words(chunk);
+        }
+        upc.memput(o, self.word_of(i), &words);
+    }
+}
+
+impl<T> std::fmt::Debug for SharedArray<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedArray")
+            .field("len", &self.n)
+            .field("block", &self.block)
+            .field("threads", &self.threads)
+            .field("word_offset", &self.off)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runtime::{UpcConfig, UpcJob};
+
+    #[test]
+    fn layout_round_robin_block_1() {
+        let job = UpcJob::new(UpcConfig::test_default(4, 1));
+        let a = job.alloc_shared::<f64>(10, 1);
+        assert_eq!(a.owner(0), 0);
+        assert_eq!(a.owner(1), 1);
+        assert_eq!(a.owner(5), 1);
+        assert_eq!(a.local_index(5), 1);
+        assert_eq!(a.local_index(9), 2);
+    }
+
+    #[test]
+    fn layout_blocked() {
+        let job = UpcJob::new(UpcConfig::test_default(4, 1));
+        let a = job.alloc_shared::<f64>(16, 0); // [*] → block 4
+        assert_eq!(a.block(), 4);
+        assert_eq!(a.owner(0), 0);
+        assert_eq!(a.owner(3), 0);
+        assert_eq!(a.owner(4), 1);
+        assert_eq!(a.owner(15), 3);
+        assert_eq!(a.local_index(15), 3);
+    }
+
+    #[test]
+    fn affinity_indices_partition_the_array() {
+        let job = UpcJob::new(UpcConfig::test_default(3, 1));
+        let a = job.alloc_shared::<u64>(17, 2);
+        let mut all: Vec<usize> = (0..3).flat_map(|t| a.indices_with_affinity(t)).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..17).collect::<Vec<_>>());
+        // ownership is consistent with the iterator
+        for t in 0..3 {
+            for i in a.indices_with_affinity(t) {
+                assert_eq!(a.owner(i), t, "index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn get_put_round_trip_spmd() {
+        let job = UpcJob::new(UpcConfig::test_default(4, 2));
+        let a = job.alloc_shared::<f64>(64, 4);
+        job.run(move |upc| {
+            let me = upc.mythread();
+            for i in a.indices_with_affinity(me) {
+                a.put(&upc, i, (i * i) as f64);
+            }
+            upc.barrier();
+            // every thread reads the whole array, including remote parts
+            for i in 0..64 {
+                assert_eq!(a.get(&upc, i), (i * i) as f64, "a[{i}]");
+            }
+        });
+    }
+
+    #[test]
+    fn cast_view_requires_shared_memory() {
+        let job = UpcJob::new(UpcConfig::test_default(4, 2));
+        let a = job.alloc_shared::<u64>(8, 1);
+        job.run(move |upc| {
+            let me = upc.mythread();
+            // threads 0,1 share node 0; 2,3 share node 1
+            let peer_same = me ^ 1;
+            assert!(upc.gasnet().castable(me, peer_same));
+            a.with_cast_words(&upc, peer_same, |w| {
+                w[0] = 777 + me as u64;
+            });
+            upc.barrier();
+            a.with_local_words(&upc, |w| {
+                assert_eq!(w[0], 777 + (me ^ 1) as u64);
+            });
+        });
+    }
+
+    #[test]
+    fn bulk_elem_transfers() {
+        let job = UpcJob::new(UpcConfig::test_default(2, 1));
+        let a = job.alloc_shared::<[f64; 2]>(8, 4);
+        job.run(move |upc| {
+            if upc.mythread() == 0 {
+                a.memput_elems(&upc, 4, &[[1.0, 2.0], [3.0, 4.0]]); // thread 1's block
+            }
+            upc.barrier();
+            if upc.mythread() == 1 {
+                let v = a.memget_elems(&upc, 4, 2);
+                assert_eq!(v, vec![[1.0, 2.0], [3.0, 4.0]]);
+            }
+        });
+    }
+
+    #[test]
+    fn fine_grained_remote_access_is_expensive() {
+        let job = UpcJob::new(UpcConfig::test_default(2, 2)); // 1 thread/node
+        let a = job.alloc_shared::<f64>(4, 1);
+        job.run(move |upc| {
+            if upc.mythread() == 0 {
+                a.poke(&upc, 1, 9.0);
+            }
+            upc.barrier();
+            if upc.mythread() == 1 {
+                let t0 = upc.now();
+                let _ = a.get(&upc, 0); // remote element: full RTT
+                let rt = upc.now() - t0;
+                assert!(rt > hupc_sim::time::us(2), "remote get took {rt}ns");
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "bupc_cast")]
+    fn cast_across_nodes_panics() {
+        let job = UpcJob::new(UpcConfig::test_default(2, 2));
+        let a = job.alloc_shared::<u64>(4, 1);
+        job.run(move |upc| {
+            if upc.mythread() == 0 {
+                a.with_cast_words(&upc, 1, |_| {});
+            }
+        });
+    }
+}

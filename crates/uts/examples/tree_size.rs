@@ -1,0 +1,21 @@
+//! Report the size/depth of UTS trees for a range of seeds — how the
+//! thesis' ≈4.1-million-node tree (seed 34) was selected.
+//!
+//! Run with `cargo run --release -p hupc-uts --example tree_size`.
+
+use hupc_uts::{sequential_traverse, TreeParams};
+
+fn main() {
+    println!("binomial trees, b0=2000 m=8 q=0.124875:");
+    for seed in [1u32, 14, 16, 25, 33, 34, 35] {
+        let p = TreeParams::Binomial {
+            b0: 2000,
+            m: 8,
+            q: 0.124875,
+            seed,
+        };
+        let (total, depth, leaves) = sequential_traverse(&p);
+        let mark = if seed == 34 { "  <- thesis tree (~4.1M)" } else { "" };
+        println!("  seed {seed:3}: {total:9} nodes, depth {depth:5}, {leaves:9} leaves{mark}");
+    }
+}

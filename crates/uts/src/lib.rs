@@ -1,0 +1,26 @@
+//! `hupc-uts` — the Unbalanced Tree Search benchmark (thesis §3.3.2).
+//!
+//! UTS counts the nodes of an unpredictable, deterministic tree: each node's
+//! descriptor is a SHA-1 digest and its children derive from it, so the tree
+//! is identical for any thread count, schedule or stealing strategy — which
+//! makes the benchmark a pure test of *dynamic load balancing*.
+//!
+//! The parallel driver follows the UPC implementation the thesis builds on:
+//! private depth-first stacks, a stealable region per thread in the PGAS
+//! ([`StealStacks`]), and work stealing in the Fig 3.2 state machine, with
+//! the thesis' two optimizations as selectable [`StealStrategy`]s:
+//! locality-conscious (group-first) victim selection, and rapid diffusion
+//! (steal-half).
+//!
+//! Node counts are validated against [`sequential_traverse`]; runs are
+//! bit-deterministic.
+
+mod sha1;
+mod stealstack;
+mod tree;
+mod worker;
+
+pub use sha1::{sha1, sha1_child, Digest};
+pub use stealstack::StealStacks;
+pub use tree::{sequential_traverse, Node, TreeParams};
+pub use worker::{run_uts, StealStrategy, UtsConfig, UtsResult};

@@ -1,0 +1,171 @@
+//! SHA-1 (RFC 3174), implemented from scratch.
+//!
+//! The UTS benchmark derives its tree deterministically from SHA-1: every
+//! node carries a 20-byte digest, and child `i`'s descriptor is
+//! `SHA1(parent_digest ‖ i)`. The same construction is used here so tree
+//! shapes are reproducible bit-for-bit across thread counts and stealing
+//! strategies. (SHA-1's cryptographic weakness is irrelevant — it is a
+//! splittable PRNG in this role, exactly as in the reference UTS code.)
+
+/// A 20-byte SHA-1 digest.
+pub type Digest = [u8; 20];
+
+const H0: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+
+/// Compute the SHA-1 digest of `data`.
+pub fn sha1(data: &[u8]) -> Digest {
+    let mut h = H0;
+    let ml = (data.len() as u64) * 8;
+
+    // Process complete input + padding, block by block without allocating
+    // the padded message.
+    let mut block = [0u8; 64];
+    let mut chunks = data.chunks_exact(64);
+    for c in chunks.by_ref() {
+        block.copy_from_slice(c);
+        compress(&mut h, &block);
+    }
+    let rem = chunks.remainder();
+    block[..rem.len()].copy_from_slice(rem);
+    block[rem.len()] = 0x80;
+    for b in block.iter_mut().skip(rem.len() + 1) {
+        *b = 0;
+    }
+    if rem.len() + 1 > 56 {
+        compress(&mut h, &block);
+        block = [0u8; 64];
+    }
+    block[56..64].copy_from_slice(&ml.to_be_bytes());
+    compress(&mut h, &block);
+
+    let mut out = [0u8; 20];
+    for (i, w) in h.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+    }
+    out
+}
+
+fn compress(h: &mut [u32; 5], block: &[u8; 64]) {
+    let mut w = [0u32; 80];
+    for (i, c) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+    }
+    for i in 16..80 {
+        w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+    }
+    let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+    for (i, &wi) in w.iter().enumerate() {
+        let (f, k) = match i / 20 {
+            0 => ((b & c) | ((!b) & d), 0x5A827999u32),
+            1 => (b ^ c ^ d, 0x6ED9EBA1),
+            2 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+            _ => (b ^ c ^ d, 0xCA62C1D6),
+        };
+        let tmp = a
+            .rotate_left(5)
+            .wrapping_add(f)
+            .wrapping_add(e)
+            .wrapping_add(k)
+            .wrapping_add(wi);
+        e = d;
+        d = c;
+        c = b.rotate_left(30);
+        b = a;
+        a = tmp;
+    }
+    h[0] = h[0].wrapping_add(a);
+    h[1] = h[1].wrapping_add(b);
+    h[2] = h[2].wrapping_add(c);
+    h[3] = h[3].wrapping_add(d);
+    h[4] = h[4].wrapping_add(e);
+}
+
+/// Digest of a parent digest plus a 32-bit child index (the UTS child
+/// derivation).
+pub fn sha1_child(parent: &Digest, child: u32) -> Digest {
+    let mut buf = [0u8; 24];
+    buf[..20].copy_from_slice(parent);
+    buf[20..].copy_from_slice(&child.to_be_bytes());
+    sha1(&buf)
+}
+
+/// Interpret the first 4 digest bytes as a uniform value in `[0, 1)`.
+pub fn unit_interval(d: &Digest) -> f64 {
+    let v = u32::from_be_bytes([d[0], d[1], d[2], d[3]]);
+    v as f64 / (u32::MAX as f64 + 1.0)
+}
+
+#[cfg(test)]
+fn hex(d: &Digest) -> String {
+    d.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc3174_test_vectors() {
+        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+        assert_eq!(hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn million_a() {
+        let msg = vec![b'a'; 1_000_000];
+        assert_eq!(hex(&sha1(&msg)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn boundary_lengths() {
+        // 55, 56, 63, 64, 65 bytes cross the padding boundaries.
+        for len in [55usize, 56, 63, 64, 65] {
+            let msg = vec![0x5au8; len];
+            let d = sha1(&msg);
+            // compare against a second, allocation-based reference padding
+            assert_eq!(d, sha1_reference(&msg), "len {len}");
+        }
+    }
+
+    /// Naive reference: build the padded message explicitly.
+    fn sha1_reference(data: &[u8]) -> Digest {
+        let mut m = data.to_vec();
+        let ml = (data.len() as u64) * 8;
+        m.push(0x80);
+        while m.len() % 64 != 56 {
+            m.push(0);
+        }
+        m.extend_from_slice(&ml.to_be_bytes());
+        let mut h = H0;
+        for c in m.chunks_exact(64) {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(c);
+            compress(&mut h, &block);
+        }
+        let mut out = [0u8; 20];
+        for (i, w) in h.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    #[test]
+    fn child_derivation_is_deterministic_and_distinct() {
+        let root = sha1(b"root");
+        let c0 = sha1_child(&root, 0);
+        let c1 = sha1_child(&root, 1);
+        assert_ne!(c0, c1);
+        assert_eq!(c0, sha1_child(&root, 0));
+    }
+
+    #[test]
+    fn unit_interval_in_range() {
+        let d = sha1(b"x");
+        let u = unit_interval(&d);
+        assert!((0.0..1.0).contains(&u));
+    }
+}

@@ -1,0 +1,226 @@
+//! The shared steal-stack: each thread's stealable work region in the PGAS.
+//!
+//! Layout of each thread's chunk (thesis §3.3.2: "each thread maintains a
+//! steal-stack residing in the UPC shared memory"):
+//!
+//! ```text
+//! word 0            : workavail (nodes currently stealable)
+//! words META..      : node slots, 3 words each, `[0, workavail)` live
+//! ```
+//!
+//! The owner moves work between its private stack and this region; thieves
+//! probe `workavail` with a one-word get and transfer nodes under the
+//! owner's lock. All counters are read/written through the normal one-sided
+//! paths, so probe and steal costs follow the conduit (the IB-vs-Ethernet
+//! contrast of Fig 3.3 comes from exactly these operations).
+
+use hupc_upc::{SharedArray, Upc, UpcLock};
+
+use crate::tree::Node;
+
+/// Words of metadata before the node slots.
+const META: usize = 4;
+
+/// The steal-stack region handle (one region per thread, symmetric).
+#[derive(Clone, Copy, Debug)]
+pub struct StealStacks {
+    arr: SharedArray<u64>,
+    /// Capacity in nodes of each thread's stealable region.
+    cap: usize,
+}
+
+impl StealStacks {
+    /// Allocate regions for all threads plus one lock per thread. Call on
+    /// the job before running; pass the returned handle into the SPMD body.
+    pub fn allocate(job: &hupc_upc::UpcJob, cap: usize) -> (StealStacks, Vec<UpcLock>) {
+        let threads = job.gasnet().n_threads();
+        let words_per = META + cap * Node::WORDS;
+        let arr = job.alloc_shared::<u64>(words_per * threads, words_per);
+        let locks = (0..threads).map(|t| job.alloc_lock_at(t)).collect();
+        (
+            StealStacks { arr, cap },
+            locks,
+        )
+    }
+
+    /// Capacity in nodes.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    fn avail_word(&self) -> usize {
+        self.arr.word_offset()
+    }
+
+    fn slot_word(&self, i: usize) -> usize {
+        self.arr.word_offset() + META + i * Node::WORDS
+    }
+
+    // ----- owner-side (local, cheap) ----------------------------------------
+
+    /// Owner: current stealable count (direct read).
+    pub fn my_avail(&self, upc: &Upc<'_>) -> usize {
+        upc.gasnet()
+            .segment(upc.mythread())
+            .read_word(self.avail_word()) as usize
+    }
+
+    /// Owner: append `nodes` to the stealable region (hold the own lock).
+    /// Returns how many were actually placed (bounded by capacity).
+    pub fn release(&self, upc: &Upc<'_>, nodes: &[Node]) -> usize {
+        let me = upc.mythread();
+        let seg = upc.gasnet().segment(me);
+        let avail = seg.read_word(self.avail_word()) as usize;
+        let take = nodes.len().min(self.cap - avail);
+        for (i, n) in nodes[..take].iter().enumerate() {
+            seg.write(self.slot_word(avail + i), &n.to_words());
+        }
+        seg.write_word(self.avail_word(), (avail + take) as u64);
+        take
+    }
+
+    /// Owner: reclaim all stealable nodes back to the private stack (hold
+    /// the own lock).
+    pub fn reacquire(&self, upc: &Upc<'_>, out: &mut Vec<Node>) -> usize {
+        let me = upc.mythread();
+        let seg = upc.gasnet().segment(me);
+        let avail = seg.read_word(self.avail_word()) as usize;
+        let mut buf = vec![0u64; Node::WORDS];
+        for i in 0..avail {
+            seg.read(self.slot_word(i), &mut buf);
+            out.push(Node::from_words(&buf));
+        }
+        seg.write_word(self.avail_word(), 0);
+        avail
+    }
+
+    // ----- thief-side (remote, charged) ---------------------------------------
+
+    /// Thief: probe `victim`'s stealable count (one-word one-sided read).
+    pub fn probe(&self, upc: &Upc<'_>, victim: usize) -> usize {
+        let mut w = [0u64];
+        upc.memget(victim, self.avail_word(), &mut w);
+        w[0] as usize
+    }
+
+    /// Thief: transfer up to `want` nodes from `victim` (caller must hold
+    /// the victim's lock). Returns the stolen nodes (possibly empty if the
+    /// region drained between probe and lock).
+    pub fn steal_locked(&self, upc: &Upc<'_>, victim: usize, want: usize) -> Vec<Node> {
+        let mut w = [0u64];
+        upc.memget(victim, self.avail_word(), &mut w);
+        let avail = w[0] as usize;
+        let take = want.min(avail);
+        if take == 0 {
+            return Vec::new();
+        }
+        let from = avail - take;
+        let mut words = vec![0u64; take * Node::WORDS];
+        upc.memget(victim, self.slot_word(from), &mut words);
+        upc.memput(victim, self.avail_word(), &[from as u64]);
+        words
+            .chunks_exact(Node::WORDS)
+            .map(Node::from_words)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeParams;
+    use hupc_upc::{UpcConfig, UpcJob};
+
+    #[test]
+    fn release_reacquire_round_trip() {
+        let job = UpcJob::new(UpcConfig::test_default(2, 1));
+        let (stacks, locks) = StealStacks::allocate(&job, 64);
+        job.run(move |upc| {
+            if upc.mythread() == 0 {
+                let p = TreeParams::small_binomial(1);
+                let mut kids = Vec::new();
+                p.children(&p.root(), &mut kids);
+                let n = kids.len().min(10);
+                locks[0].lock(&upc);
+                let placed = stacks.release(&upc, &kids[..n]);
+                assert_eq!(placed, n);
+                assert_eq!(stacks.my_avail(&upc), n);
+                let mut back = Vec::new();
+                let got = stacks.reacquire(&upc, &mut back);
+                assert_eq!(got, n);
+                assert_eq!(back, kids[..n].to_vec());
+                assert_eq!(stacks.my_avail(&upc), 0);
+                locks[0].unlock(&upc);
+            }
+        });
+    }
+
+    #[test]
+    fn capacity_bounds_release() {
+        let job = UpcJob::new(UpcConfig::test_default(1, 1));
+        let (stacks, locks) = StealStacks::allocate(&job, 4);
+        job.run(move |upc| {
+            let p = TreeParams::small_binomial(2);
+            let mut kids = Vec::new();
+            p.children(&p.root(), &mut kids); // 60 children
+            locks[0].lock(&upc);
+            let placed = stacks.release(&upc, &kids);
+            assert_eq!(placed, 4);
+            let more = stacks.release(&upc, &kids);
+            assert_eq!(more, 0);
+            locks[0].unlock(&upc);
+        });
+    }
+
+    #[test]
+    fn thief_steals_from_the_top() {
+        let job = UpcJob::new(UpcConfig::test_default(2, 1));
+        let (stacks, locks) = StealStacks::allocate(&job, 64);
+        job.run(move |upc| {
+            let p = TreeParams::small_binomial(3);
+            let mut kids = Vec::new();
+            p.children(&p.root(), &mut kids);
+            let kids = &kids[..8];
+            if upc.mythread() == 0 {
+                locks[0].lock(&upc);
+                stacks.release(&upc, kids);
+                locks[0].unlock(&upc);
+            }
+            upc.barrier();
+            if upc.mythread() == 1 {
+                assert_eq!(stacks.probe(&upc, 0), 8);
+                locks[0].lock(&upc);
+                let stolen = stacks.steal_locked(&upc, 0, 3);
+                locks[0].unlock(&upc);
+                assert_eq!(stolen, kids[5..8].to_vec());
+                assert_eq!(stacks.probe(&upc, 0), 5);
+            }
+            upc.barrier();
+        });
+    }
+
+    #[test]
+    fn steal_more_than_available_takes_all() {
+        let job = UpcJob::new(UpcConfig::test_default(2, 1));
+        let (stacks, locks) = StealStacks::allocate(&job, 16);
+        job.run(move |upc| {
+            let p = TreeParams::small_binomial(4);
+            let mut kids = Vec::new();
+            p.children(&p.root(), &mut kids);
+            if upc.mythread() == 0 {
+                locks[0].lock(&upc);
+                stacks.release(&upc, &kids[..5]);
+                locks[0].unlock(&upc);
+            }
+            upc.barrier();
+            if upc.mythread() == 1 {
+                locks[0].lock(&upc);
+                let stolen = stacks.steal_locked(&upc, 0, 100);
+                locks[0].unlock(&upc);
+                assert_eq!(stolen.len(), 5);
+                assert_eq!(stacks.probe(&upc, 0), 0);
+            }
+            upc.barrier();
+        });
+    }
+}

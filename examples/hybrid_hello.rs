@@ -1,0 +1,57 @@
+//! Hierarchical sub-threads in action: each UPC thread forks a pool of
+//! shared-memory workers that can still reach the global address space —
+//! the Chapter 4 programming model.
+//!
+//! Run with `cargo run --release --example hybrid_hello`.
+
+use std::sync::Arc;
+
+use hupc::prelude::*;
+
+fn main() {
+    let job = UpcJob::new(UpcConfig::test_default(2, 2)); // 1 UPC thread/node
+    let rt = Arc::clone(job.runtime());
+    let table = job.alloc_shared::<u64>(2 * 16, 16); // 16 slots per thread
+
+    job.run(move |upc| {
+        let me = upc.mythread();
+
+        // Fork 4 sub-threads (the master participates as worker 0).
+        let pool = SubPool::spawn(&upc, 4, SubthreadModel::OpenMp);
+        println!(
+            "UPC thread {me}: forked a {} pool of {} sub-threads",
+            pool.profile().name(),
+            pool.size()
+        );
+
+        // parallel_for over 16 items; each sub-thread writes REMOTELY into
+        // the *other* UPC thread's partition — sub-threads reach the PGAS.
+        let rt2 = Arc::clone(upc.runtime());
+        let peer = 1 - me;
+        pool.parallel_for(upc.ctx(), 16, move |w, range| {
+            let view = rt2.view(w.ctx(), me);
+            for i in range {
+                w.compute(time::us(50)); // simulated work
+                view.memput(
+                    peer,
+                    table.word_offset() + i,
+                    &[(me * 100 + i) as u64],
+                );
+            }
+        });
+        pool.shutdown(upc.ctx());
+        upc.barrier();
+
+        // Verify what the peer's sub-threads wrote into *my* partition.
+        table.with_local_words(&upc, |w| {
+            for (i, v) in w.iter().enumerate().take(16) {
+                assert_eq!(*v, (peer * 100 + i) as u64);
+            }
+        });
+        if me == 0 {
+            println!("all sub-thread writes landed in the right partitions ✓");
+            println!("virtual time: {}", time::format(upc.now()));
+        }
+        let _ = &rt;
+    });
+}

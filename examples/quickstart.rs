@@ -1,0 +1,49 @@
+//! Quickstart: SPMD hello-world on the PGAS — shared arrays, one-sided
+//! puts/gets, barriers, and a reduction.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use hupc::prelude::*;
+
+fn main() {
+    // A small simulated cluster: 2 nodes × (2 sockets × 2 cores).
+    let job = UpcJob::new(UpcConfig::test_default(8, 2));
+
+    // shared [1] double histogram[64]  — round-robin over threads
+    let hist = job.alloc_shared::<f64>(64, 1);
+
+    job.run(move |upc| {
+        let me = upc.mythread();
+        let p = upc.threads();
+        println!(
+            "hello from UPC thread {me}/{p} (node {:?})",
+            upc.gasnet().thread_node(me)
+        );
+
+        // Every thread writes the elements it has affinity to (upc_forall).
+        for i in hist.indices_with_affinity(me) {
+            hist.put(&upc, i, (i * i) as f64);
+        }
+        upc.barrier();
+
+        // Thread 0 reads remote elements one-sidedly — no receives anywhere.
+        if me == 0 {
+            let remote = hist.get(&upc, 63);
+            assert_eq!(remote, 63.0 * 63.0);
+            println!("hist[63] (owned by thread {}) = {remote}", hist.owner(63));
+        }
+
+        // A collective: global sum of locally-owned values.
+        let local_sum: f64 = hist
+            .indices_with_affinity(me)
+            .map(|i| hist.peek(&upc, i))
+            .sum();
+        let total = upc.allreduce_sum_f64(local_sum);
+        if me == 0 {
+            let want: f64 = (0..64).map(|i| (i * i) as f64).sum();
+            assert_eq!(total, want);
+            println!("global sum = {total} (expected {want})");
+            println!("virtual time elapsed: {}", time::format(upc.now()));
+        }
+    });
+}

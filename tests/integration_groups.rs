@@ -1,0 +1,122 @@
+//! Thread groups (Chapter 3) exercised end-to-end: topology-driven
+//! partitions, cast tables, group barriers, and a miniature
+//! locality-conscious work-stealing interaction.
+
+use std::sync::Arc;
+
+use hupc::prelude::*;
+
+#[test]
+fn node_groups_cover_and_respect_topology() {
+    let job = UpcJob::new(UpcConfig::test_default(8, 2));
+    let set = GroupSet::partition(&mut job.kernel(), job.runtime(), GroupLevel::Node);
+    assert_eq!(set.len(), 2);
+    for g in set.groups() {
+        assert_eq!(g.size(), 4);
+        assert!(g.has_cast_table());
+    }
+    // groups really partition
+    let mut seen = vec![false; 8];
+    for g in set.groups() {
+        for &m in g.members() {
+            assert!(!seen[m]);
+            seen[m] = true;
+        }
+    }
+    assert!(seen.iter().all(|&s| s));
+}
+
+#[test]
+fn group_neighbor_writes_via_cast_table() {
+    let job = UpcJob::new(UpcConfig::test_default(8, 2));
+    let a = job.alloc_shared::<u64>(8 * 4, 4);
+    let set = Arc::new(GroupSet::partition(
+        &mut job.kernel(),
+        job.runtime(),
+        GroupLevel::Node,
+    ));
+    job.run(move |upc| {
+        let me = upc.mythread();
+        let g = set.group_of(me);
+        // ring write within the group through pre-cast pointers
+        let succ = g.peers_of(me)[0];
+        g.with_member_words(&upc, &a, succ, |w| {
+            w[0] = 7000 + me as u64;
+        });
+        g.barrier(&upc);
+        let pred = *g.peers_of(me).last().expect("group of 4");
+        a.with_local_words(&upc, |w| assert_eq!(w[0], 7000 + pred as u64));
+    });
+}
+
+#[test]
+fn group_barrier_does_not_synchronize_other_groups() {
+    let job = UpcJob::new(UpcConfig::test_default(8, 2));
+    let set = Arc::new(GroupSet::partition(
+        &mut job.kernel(),
+        job.runtime(),
+        GroupLevel::Node,
+    ));
+    let finish = Arc::new(SimCell::new([0u64; 8]));
+    let f2 = Arc::clone(&finish);
+    job.run(move |upc| {
+        let me = upc.mythread();
+        // group 0 members idle briefly; group 1 members idle long
+        let delay = if me < 4 { time::us(10) } else { time::ms(5) };
+        upc.ctx().advance(delay);
+        set.group_of(me).barrier(&upc);
+        f2.with_mut(|f| f[me] = upc.now());
+    });
+    let f = finish.get();
+    // group 0 finished its barrier long before group 1
+    assert!(f[..4].iter().max().unwrap() < f[4..].iter().min().unwrap());
+}
+
+#[test]
+fn steal_prefers_group_then_falls_back() {
+    // A hand-rolled micro work-steal using groups: thread 7 has no work,
+    // its group is dry, so it must fetch from the remote group.
+    let job = UpcJob::new(UpcConfig::test_default(8, 2));
+    let work = job.alloc_shared::<u64>(8, 1);
+    let set = Arc::new(GroupSet::partition(
+        &mut job.kernel(),
+        job.runtime(),
+        GroupLevel::Node,
+    ));
+    job.run(move |upc| {
+        let me = upc.mythread();
+        // only thread 0 (remote group from 7's perspective) has work
+        work.poke(&upc, me, if me == 0 { 42 } else { 0 });
+        upc.barrier();
+        if me == 7 {
+            let g = set.group_of(7);
+            let local_hit = g
+                .peers_of(7)
+                .into_iter()
+                .find(|&p| work.get(&upc, p) != 0);
+            assert_eq!(local_hit, None, "local discovery must come up dry");
+            let remote_hit = set
+                .outsiders_of(7)
+                .into_iter()
+                .find(|&p| work.get(&upc, p) != 0);
+            assert_eq!(remote_hit, Some(0));
+        }
+        upc.barrier();
+    });
+}
+
+#[test]
+fn overlapping_group_sets_are_independent() {
+    let job = UpcJob::new(UpcConfig::test_default(8, 2));
+    let k = &mut job.kernel();
+    let nodes = GroupSet::partition(k, job.runtime(), GroupLevel::Node);
+    let sockets = GroupSet::partition(k, job.runtime(), GroupLevel::Socket);
+    // every socket group is contained in exactly one node group
+    for sg in sockets.groups() {
+        let owner = nodes.group_index_of(sg.members()[0]);
+        for &m in sg.members() {
+            assert_eq!(nodes.group_index_of(m), owner);
+        }
+    }
+    assert!(sockets.len() > nodes.len());
+}

@@ -1,0 +1,168 @@
+//! Property-based invariants over the core data structures and models.
+
+use proptest::prelude::*;
+
+use hupc::fft::{dft_reference, Complex, Direction, FftPlan};
+use hupc::net::Conduit;
+use hupc::prelude::*;
+use hupc::uts::{sequential_traverse, Node, TreeParams};
+
+// ----- block-cyclic layout ---------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Ownership and local indices partition every element exactly once and
+    /// round-trip through the affinity iterator.
+    #[test]
+    fn shared_array_layout_partitions(
+        threads in 1usize..5, // the one-node test platform has 4 PUs
+        n in 1usize..400,
+        block in 0usize..33,
+    ) {
+        let job = UpcJob::new(UpcConfig::test_default(threads, 1));
+        let a = job.alloc_shared::<f64>(n, block);
+        let mut seen = vec![0u32; n];
+        for t in 0..threads {
+            for i in a.indices_with_affinity(t) {
+                prop_assert_eq!(a.owner(i), t);
+                seen[i] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+        // local indices are injective per thread
+        for t in 0..threads {
+            let mut locs: Vec<usize> =
+                a.indices_with_affinity(t).map(|i| a.local_index(i)).collect();
+            let before = locs.len();
+            locs.sort_unstable();
+            locs.dedup();
+            prop_assert_eq!(locs.len(), before);
+            prop_assert!(locs.iter().all(|&l| l < a.per_thread_elems()));
+        }
+    }
+
+    /// FFT inverse recovers random signals for every power-of-two length.
+    #[test]
+    fn fft_round_trip(log_n in 0u32..11, seed in any::<u64>()) {
+        let n = 1usize << log_n;
+        let plan = FftPlan::new(n);
+        let mut s = seed | 1;
+        let sig: Vec<Complex> = (0..n).map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let re = ((s >> 33) as f64) / (1u64 << 31) as f64 - 1.0;
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let im = ((s >> 33) as f64) / (1u64 << 31) as f64 - 1.0;
+            Complex::new(re, im)
+        }).collect();
+        let mut y = sig.clone();
+        plan.transform(&mut y, Direction::Forward);
+        plan.transform(&mut y, Direction::Inverse);
+        for (a, b) in sig.iter().zip(&y) {
+            prop_assert!((a.re - b.re).abs() < 1e-9);
+            prop_assert!((a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    /// FFT agrees with the O(n²) DFT on small sizes.
+    #[test]
+    fn fft_matches_dft(log_n in 0u32..6, seed in any::<u64>()) {
+        let n = 1usize << log_n;
+        let mut s = seed | 1;
+        let sig: Vec<Complex> = (0..n).map(|_| {
+            s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            Complex::new(((s >> 40) as f64) / 1e6, ((s >> 20) as f64 % 1e6) / 1e6)
+        }).collect();
+        let want = dft_reference(&sig, Direction::Forward);
+        let mut got = sig.clone();
+        FftPlan::new(n).transform(&mut got, Direction::Forward);
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g.re - w.re).abs() < 1e-7);
+            prop_assert!((g.im - w.im).abs() < 1e-7);
+        }
+    }
+
+    /// UTS node serialization round-trips for arbitrary digests/depths.
+    #[test]
+    fn uts_node_words_round_trip(bytes in prop::array::uniform20(any::<u8>()), depth in any::<u32>()) {
+        let n = Node { digest: bytes, depth };
+        prop_assert_eq!(Node::from_words(&n.to_words()), n);
+    }
+
+    /// Conduit costs are monotone in message size.
+    #[test]
+    fn conduit_costs_monotone(a in 1usize..1_000_000, b in 1usize..1_000_000) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        for c in [Conduit::ib_qdr(), Conduit::ib_ddr(), Conduit::gige()] {
+            prop_assert!(c.conn_service(lo) <= c.conn_service(hi));
+            prop_assert!(c.nic_service(lo) <= c.nic_service(hi));
+            prop_assert!(c.uncontended_delivery(lo) <= c.uncontended_delivery(hi));
+        }
+    }
+
+    /// Affinity mask algebra behaves like sets.
+    #[test]
+    fn mask_set_algebra(xs in prop::collection::vec(0usize..128, 0..40),
+                        ys in prop::collection::vec(0usize..128, 0..40)) {
+        use hupc::topo::{AffinityMask, PuId};
+        let a = AffinityMask::from_pus(128, xs.iter().map(|&i| PuId(i)));
+        let b = AffinityMask::from_pus(128, ys.iter().map(|&i| PuId(i)));
+        let both = a.and(&b);
+        let either = a.or(&b);
+        for i in 0..128 {
+            let p = PuId(i);
+            prop_assert_eq!(both.contains(p), a.contains(p) && b.contains(p));
+            prop_assert_eq!(either.contains(p), a.contains(p) || b.contains(p));
+        }
+        prop_assert!(both.count() <= a.count().min(b.count()));
+        prop_assert!(either.count() >= a.count().max(b.count()));
+    }
+}
+
+proptest! {
+    // Simulation-heavy properties get fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Virtual time is monotone under arbitrary op sequences, and the run
+    /// is deterministic.
+    #[test]
+    fn virtual_time_monotone_and_deterministic(ops in prop::collection::vec(0u8..4, 1..20)) {
+        fn run(ops: &[u8]) -> Time {
+            let mut sim = Simulation::new();
+            let bar = sim.kernel().new_barrier(2);
+            let res = sim.kernel().new_resource("r");
+            for t in 0..2u64 {
+                let ops = ops.to_vec();
+                sim.spawn(format!("a{t}"), move |ctx| {
+                    let mut last = ctx.now();
+                    for (i, &op) in ops.iter().enumerate() {
+                        match op {
+                            0 => ctx.advance(time::ns(50 + t * 7 + i as u64)),
+                            1 => ctx.acquire(res, time::ns(100)),
+                            2 => ctx.barrier_wait(bar),
+                            _ => ctx.advance(0),
+                        }
+                        assert!(ctx.now() >= last, "time went backwards");
+                        last = ctx.now();
+                    }
+                });
+            }
+            sim.run().end_time
+        }
+        let a = run(&ops);
+        let b = run(&ops);
+        prop_assert_eq!(a, b);
+    }
+
+    /// UTS parallel count equals the sequential count for random small
+    /// trees and arbitrary granularity.
+    #[test]
+    fn uts_count_invariant(seed in 1u32..200, gran in 1usize..9) {
+        use hupc::uts::{run_uts, StealStrategy, UtsConfig};
+        let seq = sequential_traverse(&TreeParams::small_binomial(seed));
+        let mut cfg = UtsConfig::small(4, 2, StealStrategy::LocalFirstRapid, seed);
+        cfg.steal_granularity = gran;
+        let r = run_uts(cfg);
+        prop_assert_eq!(r.total_nodes, seq.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! End-to-end SPMD semantics across the stack: launcher + shared arrays +
+//! one-sided ops + collectives + locks, over several backends and conduits.
+
+use std::sync::Arc;
+
+use hupc::prelude::*;
+
+fn cfg(threads: usize, nodes: usize, backend: Backend, conduit: Conduit) -> UpcConfig {
+    let mut c = UpcConfig::test_default(threads, nodes);
+    c.gasnet.backend = backend;
+    c.gasnet.conduit = conduit;
+    c
+}
+
+#[test]
+fn ring_pass_over_every_backend() {
+    for backend in [
+        Backend::processes(),
+        Backend::processes_pshm(),
+        Backend::pthreads(4),
+        Backend::mixed(2, true),
+    ] {
+        let job = UpcJob::new(cfg(8, 2, backend, Conduit::ib_qdr()));
+        let a = job.alloc_shared::<u64>(8, 1);
+        job.run(move |upc| {
+            let me = upc.mythread();
+            // Each thread writes a token into its ring successor's element.
+            a.poke(&upc, me, 0);
+            upc.barrier();
+            let next = (me + 1) % 8;
+            a.put(&upc, next, 1000 + me as u64);
+            upc.barrier();
+            let prev = (me + 8 - 1) % 8;
+            assert_eq!(a.get(&upc, me), 1000 + prev as u64, "{backend:?}");
+        });
+    }
+}
+
+#[test]
+fn every_conduit_delivers() {
+    for conduit in [Conduit::ib_qdr(), Conduit::ib_ddr(), Conduit::gige()] {
+        let slower_latency = conduit.wire_latency;
+        let job = UpcJob::new(cfg(2, 2, Backend::processes_pshm(), conduit));
+        let rt = Arc::clone(job.runtime());
+        let off = rt.alloc_words(4);
+        job.run(move |upc| {
+            if upc.mythread() == 0 {
+                let t0 = upc.now();
+                upc.memput(1, off, &[5, 6, 7]);
+                assert!(upc.now() - t0 >= slower_latency);
+            }
+            upc.barrier();
+            if upc.mythread() == 1 {
+                let mut out = [0u64; 3];
+                upc.memget(1, off, &mut out);
+                assert_eq!(out, [5, 6, 7]);
+            }
+        });
+    }
+}
+
+#[test]
+fn barrier_orders_all_prior_communication() {
+    // Classic producer/consumer: data written before a barrier must be
+    // visible after it, including async puts that were never waited on.
+    let job = UpcJob::new(UpcConfig::test_default(6, 2));
+    let a = job.alloc_shared::<u64>(6 * 64, 64);
+    job.run(move |upc| {
+        let me = upc.mythread();
+        let peer = (me + 1) % 6;
+        let data: Vec<u64> = (0..64).map(|k| (me * 64 + k) as u64).collect();
+        let _unwaited = upc.memput_nb(peer, a.word_offset(), &data);
+        upc.barrier();
+        a.with_local_words(&upc, |w| {
+            let pred = (me + 5) % 6;
+            for (k, v) in w.iter().enumerate().take(64) {
+                assert_eq!(*v, (pred * 64 + k) as u64);
+            }
+        });
+    });
+}
+
+#[test]
+fn locks_serialize_read_modify_write_across_nodes() {
+    let job = UpcJob::new(UpcConfig::test_default(6, 2));
+    let lock = job.alloc_lock_at(3);
+    let rt = Arc::clone(job.runtime());
+    let off = rt.alloc_words(1);
+    job.run(move |upc| {
+        for _ in 0..5 {
+            lock.lock(&upc);
+            let mut v = [0u64];
+            upc.memget(0, off, &mut v);
+            upc.compute(time::ns(100));
+            upc.memput(0, off, &[v[0] + 1]);
+            lock.unlock(&upc);
+        }
+        upc.barrier();
+        if upc.mythread() == 0 {
+            assert_eq!(upc.gasnet().segment(0).read_word(off), 30);
+        }
+    });
+}
+
+#[test]
+fn collectives_compose() {
+    let job = UpcJob::new(UpcConfig::test_default(8, 2));
+    job.run(|upc| {
+        let me = upc.mythread() as u64;
+        // broadcast → reduce → broadcast chain
+        let seed = upc.broadcast_word(3, if me == 3 { 99 } else { 0 });
+        let total = upc.allreduce_sum_u64(seed + me);
+        assert_eq!(total, 8 * 99 + 28);
+        let max = upc.allreduce_max_u64(me * seed);
+        assert_eq!(max, 7 * 99);
+    });
+}
+
+#[test]
+fn exchange_then_verify_under_gige() {
+    let mut c = UpcConfig::test_default(4, 2);
+    c.gasnet.conduit = Conduit::gige();
+    let job = UpcJob::new(c);
+    let src = job.alloc_shared::<u64>(4 * 4, 4);
+    let dst = job.alloc_shared::<u64>(4 * 4, 4);
+    job.run(move |upc| {
+        let me = upc.mythread();
+        src.with_local_words(&upc, |w| {
+            for (j, x) in w.iter_mut().enumerate() {
+                *x = (me * 10 + j) as u64;
+            }
+        });
+        upc.barrier();
+        upc.all_exchange(src, dst, 1, true);
+        dst.with_local_words(&upc, |w| {
+            for (j, x) in w.iter().enumerate().take(4) {
+                assert_eq!(*x, (j * 10 + me) as u64);
+            }
+        });
+    });
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    fn run_once() -> (u64, Time) {
+        let job = UpcJob::new(UpcConfig::test_default(8, 2));
+        let a = job.alloc_shared::<u64>(256, 8);
+        let out = Arc::new(SimCell::new((0u64, 0u64)));
+        let o2 = Arc::clone(&out);
+        job.run(move |upc| {
+            let me = upc.mythread();
+            for i in a.indices_with_affinity(me) {
+                a.put(&upc, i, (i * 7) as u64);
+            }
+            upc.barrier();
+            let mut sum = 0;
+            for i in 0..256 {
+                sum += a.get(&upc, i);
+            }
+            let total = upc.allreduce_sum_u64(sum);
+            if me == 0 {
+                o2.with_mut(|v| *v = (total, upc.now()));
+            }
+        });
+        let (sum, t) = out.get();
+        (sum, t)
+    }
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a, b);
+    assert_eq!(a.0, (0..256u64).map(|i| i * 7).sum::<u64>() * 8);
+}
+
+#[test]
+fn split_phase_barrier_overlaps_local_work() {
+    // upc_notify / upc_wait: pre-notify writes are visible after wait, and
+    // the local work between them genuinely overlaps the barrier.
+    let job = UpcJob::new(UpcConfig::test_default(4, 2));
+    let a = job.alloc_shared::<u64>(4, 1);
+    job.run(move |upc| {
+        let me = upc.mythread();
+        for round in 0..3u64 {
+            a.poke(&upc, me, 100 * round + me as u64);
+            upc.notify();
+            // overlapped local compute while others arrive
+            upc.compute(time::us(10 * (me as u64 + 1)));
+            upc.wait();
+            for t in 0..4 {
+                assert_eq!(a.peek(&upc, t), 100 * round + t as u64, "round {round}");
+            }
+            upc.barrier();
+        }
+    });
+}
+
+#[test]
+fn gups_random_access_end_to_end() {
+    use hupc::gups::{run_gups, GupsConfig, Routing};
+    let r = run_gups(GupsConfig::small(8, 2, Routing::Hierarchical));
+    assert_eq!(r.errors, 0);
+    assert!(r.gups > 0.0);
+    assert_eq!(r.total_updates, 8 * 300);
+}

@@ -1,0 +1,151 @@
+//! Hierarchical sub-threads (Chapter 4) end-to-end: pools under SPMD
+//! threads, PGAS access from workers, thread-safety levels, profiles.
+
+use std::sync::Arc;
+
+use hupc::prelude::*;
+
+#[test]
+fn every_upc_thread_can_run_its_own_pool() {
+    let job = UpcJob::new(UpcConfig::test_default(4, 2));
+    let counts = Arc::new(SimCell::new([0u64; 4]));
+    let c2 = Arc::clone(&counts);
+    job.run(move |upc| {
+        let me = upc.mythread();
+        let pool = SubPool::spawn(&upc, 2, SubthreadModel::Pool);
+        let c3 = Arc::clone(&c2);
+        pool.parallel_for(upc.ctx(), 10, move |w, range| {
+            w.compute(time::us(10));
+            c3.with_mut(|c| c[me] += range.len() as u64);
+        });
+        pool.shutdown(upc.ctx());
+        upc.barrier();
+    });
+    assert_eq!(counts.get(), [10, 10, 10, 10]);
+}
+
+#[test]
+fn subthread_remote_puts_respect_upc_semantics() {
+    let job = UpcJob::new(UpcConfig::test_default(2, 2));
+    let rt = Arc::clone(job.runtime());
+    let a = job.alloc_shared::<u64>(2 * 32, 32);
+    job.run(move |upc| {
+        let me = upc.mythread();
+        let peer = 1 - me;
+        let pool = SubPool::spawn(&upc, 4, SubthreadModel::OpenMp);
+        let rt2 = Arc::clone(upc.runtime());
+        pool.parallel_for(upc.ctx(), 32, move |w, range| {
+            let view = rt2.view(w.ctx(), me);
+            for i in range {
+                view.memput(peer, a.word_offset() + i, &[(me * 1000 + i) as u64]);
+            }
+        });
+        pool.shutdown(upc.ctx());
+        upc.barrier(); // drains the workers' outstanding puts too
+        a.with_local_words(&upc, |wds| {
+            for (i, v) in wds.iter().enumerate().take(32) {
+                assert_eq!(*v, (peer * 1000 + i) as u64);
+            }
+        });
+        let _ = &rt;
+    });
+}
+
+#[test]
+fn serialized_safety_level_works_but_multiple_is_faster() {
+    fn run(level: ThreadSafety) -> Time {
+        let mut cfg = UpcConfig::test_default(2, 2);
+        cfg.safety = level;
+        let job = UpcJob::new(cfg);
+        let rt = Arc::clone(job.runtime());
+        let off = rt.alloc_words(64);
+        let out = Arc::new(SimCell::new(0u64));
+        let o2 = Arc::clone(&out);
+        job.run(move |upc| {
+            let me = upc.mythread();
+            let pool = SubPool::spawn(&upc, 4, SubthreadModel::OpenMp);
+            let rt2 = Arc::clone(upc.runtime());
+            let t0 = upc.now();
+            pool.parallel_for(upc.ctx(), 32, move |w, range| {
+                let view = rt2.view(w.ctx(), me);
+                for i in range {
+                    view.memput(1 - me, off + i, &[i as u64]);
+                }
+            });
+            if me == 0 {
+                o2.with_mut(|v| *v = upc.now() - t0);
+            }
+            pool.shutdown(upc.ctx());
+            upc.barrier();
+        });
+        out.get()
+    }
+    let serialized = run(ThreadSafety::Serialized);
+    let multiple = run(ThreadSafety::Multiple);
+    assert!(
+        multiple <= serialized,
+        "THREAD_MULTIPLE {multiple} should not be slower than SERIALIZED {serialized}"
+    );
+}
+
+#[test]
+fn profiles_order_total_region_cost() {
+    fn region_cost(model: SubthreadModel) -> Time {
+        let job = UpcJob::new(UpcConfig::test_default(1, 1));
+        let out = Arc::new(SimCell::new(0u64));
+        let o2 = Arc::clone(&out);
+        job.run(move |upc| {
+            let pool = SubPool::spawn(&upc, 2, model);
+            let t0 = upc.now();
+            for _ in 0..50 {
+                pool.parallel_for(upc.ctx(), 2, |w, r| {
+                    for _ in r {
+                        w.compute(time::us(20));
+                    }
+                });
+            }
+            o2.with_mut(|v| *v = upc.now() - t0);
+            pool.shutdown(upc.ctx());
+        });
+        out.get()
+    }
+    let omp = region_cost(SubthreadModel::OpenMp);
+    let pool = region_cost(SubthreadModel::Pool);
+    let cilk = region_cost(SubthreadModel::Cilk);
+    assert!(omp < pool, "OpenMP {omp} < pool {pool}");
+    assert!(pool < cilk, "pool {pool} < Cilk {cilk}");
+}
+
+#[test]
+fn dynamic_tasks_interleave_with_communication() {
+    // Cilk-style spawns while the master issues communication: the overlap
+    // pattern of §4.3.3.1 in miniature.
+    let job = UpcJob::new(UpcConfig::test_default(2, 2));
+    let rt = Arc::clone(job.runtime());
+    let off = rt.alloc_words(8);
+    job.run(move |upc| {
+        let me = upc.mythread();
+        if me == 0 {
+            let pool = SubPool::spawn(&upc, 3, SubthreadModel::Cilk);
+            let mut handles = Vec::new();
+            for i in 0..8u64 {
+                pool.spawn_task(upc.ctx(), move |w| {
+                    w.compute(time::us(100)); // "compute plane i"
+                    let _ = i;
+                });
+                handles.push(upc.memput_nb(1, off + i as usize, &[i]));
+            }
+            pool.sync(upc.ctx());
+            for h in handles {
+                upc.wait_sync(h);
+            }
+            pool.shutdown(upc.ctx());
+        }
+        upc.barrier();
+        if me == 1 {
+            for i in 0..8 {
+                assert_eq!(upc.gasnet().segment(1).read_word(off + i), i as u64);
+            }
+        }
+    });
+}
