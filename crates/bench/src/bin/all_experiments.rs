@@ -14,6 +14,7 @@ fn main() {
         ("Fig 4.4", hupc_bench::exp::fig_4_4::run),
         ("Fig 4.5", hupc_bench::exp::fig_4_5::run),
         ("Fig 4.6", hupc_bench::exp::fig_4_6::run),
+        ("Fault sweep", hupc_bench::exp::fault_uts::run),
     ];
     for (name, f) in experiments {
         eprintln!("[running {name} ...]");

@@ -1,0 +1,7 @@
+//! Robustness sweep: UTS under injected packet loss.
+
+fn main() {
+    let args = hupc_bench::parse_args();
+    let tables = hupc_bench::exp::fault_uts::run(args.quick);
+    hupc_bench::report::emit(&args, &tables);
+}

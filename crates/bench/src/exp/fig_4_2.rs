@@ -29,6 +29,9 @@ fn job(links: usize, pthreads: bool) -> UpcJob {
             conduit: Conduit::ib_qdr(),
             segment_words: 1 << 20,
             overheads: None,
+            fault: None,
+            retry: Default::default(),
+            barrier_timeout: None,
         },
         safety: ThreadSafety::Multiple,
     })

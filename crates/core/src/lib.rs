@@ -67,10 +67,13 @@ pub use hupc_gups as gups;
 
 /// The names almost every program needs.
 pub mod prelude {
-    pub use hupc_gasnet::{AccessPath, Backend, Gasnet, GasnetConfig, Handle};
+    pub use hupc_gasnet::{
+        AccessPath, Backend, CommError, FaultPlan, Gasnet, GasnetConfig, Handle, Jitter,
+        RetryPolicy,
+    };
     pub use hupc_groups::{GroupLevel, GroupSet, ThreadGroup};
     pub use hupc_net::Conduit;
-    pub use hupc_sim::{time, Ctx, SimCell, Simulation, Time};
+    pub use hupc_sim::{time, Ctx, SimCell, SimError, Simulation, Time};
     pub use hupc_subthreads::{Profile, SubPool, SubthreadModel, WorkerCtx};
     pub use hupc_topo::{BindPolicy, Machine, MachineSpec, PuId};
     pub use hupc_upc::{

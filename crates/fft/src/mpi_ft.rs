@@ -35,6 +35,9 @@ pub fn run_ft_mpi(cfg: FtConfig) -> FtResult {
         conduit: cfg.conduit.clone(),
         segment_words: 1 << 10,
         overheads: None,
+        fault: None,
+        retry: Default::default(),
+        barrier_timeout: None,
     });
 
     let out: Arc<SimCell<FtResult>> = Arc::new(SimCell::default());

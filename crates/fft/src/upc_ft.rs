@@ -155,6 +155,9 @@ pub fn run_ft_upc(cfg: FtConfig) -> FtResult {
             conduit: cfg.conduit.clone(),
             segment_words: 1 << 10,
             overheads: cfg.overheads,
+            fault: None,
+            retry: Default::default(),
+            barrier_timeout: None,
         },
         safety: ThreadSafety::Multiple,
     });

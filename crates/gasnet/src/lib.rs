@@ -22,11 +22,17 @@
 //! the `double`/`double complex`-dominated workloads of the evaluation.
 
 mod backend;
+mod error;
 mod runtime;
 mod segment;
 mod team;
 
 pub use backend::{AccessPath, Backend};
+pub use error::{CommError, RetryPolicy};
 pub use runtime::{Gasnet, GasnetConfig, Handle, Overheads};
 pub use segment::{word, Segment, WORD_BYTES};
 pub use team::Team;
+
+// Fault-model vocabulary, re-exported so runtime users configure plans
+// without depending on `hupc-fault` directly.
+pub use hupc_fault::{DegradedWindow, FaultInjector, FaultPlan, Jitter};

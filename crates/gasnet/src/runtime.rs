@@ -3,11 +3,13 @@
 
 use std::sync::Arc;
 
-use hupc_net::{Conduit, Connection, CpuModel, Fabric, MemoryModel};
+use hupc_fault::{FaultInjector, FaultPlan};
+use hupc_net::{Conduit, Connection, CpuModel, Delivery, Fabric, MemoryModel};
 use hupc_sim::{time, BarrierId, CompletionId, Ctx, Simulation, SimCell, Time};
 use hupc_topo::{BindPolicy, Machine, MachineSpec, NodeId, Placement, PuId, SocketId};
 
 use crate::backend::{AccessPath, Backend};
+use crate::error::{CommError, RetryPolicy};
 use crate::segment::{Segment, WORD_BYTES};
 
 /// Software overhead constants of the runtime (ns-scale knobs the thesis'
@@ -60,6 +62,17 @@ pub struct GasnetConfig {
     /// The bench harness uses this for the "+cast" manual-optimization
     /// variants of thesis Fig 3.4, which zero the intra-node per-call costs.
     pub overheads: Option<Overheads>,
+    /// Optional fault-injection plan (packet loss, jitter, degraded NICs,
+    /// stragglers). `None` — and any identity plan — leaves every modeled
+    /// time bit-identical to the fault-free runtime.
+    pub fault: Option<FaultPlan>,
+    /// Retransmission policy for dropped messages (only consulted when a
+    /// fault plan can actually drop something).
+    pub retry: RetryPolicy,
+    /// Optional watchdog on blocking barriers: a thread stuck longer than
+    /// this fails with [`CommError::BarrierTimeout`] instead of deadlocking
+    /// the simulation. `None` (the default) keeps barriers untimed.
+    pub barrier_timeout: Option<Time>,
 }
 
 impl GasnetConfig {
@@ -74,12 +87,16 @@ impl GasnetConfig {
             conduit: Conduit::ib_qdr(),
             segment_words: 1 << 16,
             overheads: None,
+            fault: None,
+            retry: RetryPolicy::default(),
+            barrier_timeout: None,
         }
     }
 }
 
 /// Non-blocking operation handle.
 #[derive(Clone, Copy, Debug)]
+#[must_use = "dropping a Handle without syncing loses the only way to observe completion"]
 pub struct Handle {
     /// Source buffer reusable (injection finished).
     pub local: CompletionId,
@@ -104,11 +121,18 @@ pub struct Gasnet {
     outstanding: Vec<SimCell<Vec<CompletionId>>>,
     n_threads: usize,
     nodes_used: usize,
+    // Fault model + recovery knobs.
+    fault: Option<Arc<FaultInjector>>,
+    retry: RetryPolicy,
+    barrier_timeout: Option<Time>,
     // Split-phase (notify/wait) barrier state.
     split_arrived: SimCell<usize>,
     split_gen: SimCell<u64>,
     split_cond: hupc_sim::CondId,
     split_target: Vec<SimCell<u64>>,
+    /// Per-thread "notified but not yet waited" flag: catches double-notify
+    /// and wait-without-notify misuse.
+    split_notified: Vec<SimCell<bool>>,
 }
 
 impl Gasnet {
@@ -118,6 +142,12 @@ impl Gasnet {
         let placement = Placement::build(&machine, cfg.n_threads, cfg.nodes_used, cfg.bind);
         let mut k = sim.kernel();
         let mut fabric = Fabric::build(&mut k, cfg.conduit.clone(), cfg.machine.nodes);
+        // One injector (one plan, one PRNG stream) shared by the fabric
+        // (drops/jitter/NIC windows) and the runtime (straggler CPUs).
+        let fault = cfg.fault.clone().map(|p| Arc::new(FaultInjector::new(p)));
+        if let Some(inj) = &fault {
+            fabric.set_fault(Arc::clone(inj));
+        }
         // Network-progress oversubscription: when a node hosts more polling
         // endpoints (processes) than physical cores — the SMT-density
         // configurations of thesis Figs 4.4–4.6 — the adapter is driven
@@ -144,9 +174,11 @@ impl Gasnet {
             let node = placement.thread_node(&machine, t);
             let local = t % per_node;
             let proc = cfg.backend.proc_of(local);
-            let conn = *proc_conns
-                .entry((node.0, proc))
-                .or_insert_with(|| fabric.open_connection(&mut k, node));
+            let conn = *proc_conns.entry((node.0, proc)).or_insert_with(|| {
+                fabric
+                    .open_connection(&mut k, node)
+                    .expect("placement only assigns threads to nodes inside the machine")
+            });
             conns.push(conn);
         }
         let barrier_all = k.new_barrier(cfg.n_threads);
@@ -176,10 +208,14 @@ impl Gasnet {
             outstanding,
             n_threads: cfg.n_threads,
             nodes_used: cfg.nodes_used,
+            fault,
+            retry: cfg.retry,
+            barrier_timeout: cfg.barrier_timeout,
             split_arrived: SimCell::new(0),
             split_gen: SimCell::new(0),
             split_cond,
             split_target: (0..cfg.n_threads).map(|_| SimCell::new(0)).collect(),
+            split_notified: (0..cfg.n_threads).map(|_| SimCell::new(false)).collect(),
         })
     }
 
@@ -219,6 +255,16 @@ impl Gasnet {
 
     pub fn fabric(&self) -> &Fabric {
         &self.fabric
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault(&self) -> Option<&Arc<FaultInjector>> {
+        self.fault.as_ref()
+    }
+
+    /// The retransmission policy for dropped messages.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// Node of a UPC thread.
@@ -262,14 +308,33 @@ impl Gasnet {
 
     // ----- compute charging ---------------------------------------------------
 
+    /// CPU slowdown of the node hosting `pu` under the fault plan (1.0 when
+    /// no plan or the node is healthy — a multiply by 1.0 is exact, so
+    /// healthy nodes keep bit-identical timings).
+    fn straggler_factor(&self, pu: PuId) -> f64 {
+        match &self.fault {
+            Some(inj) => inj.plan().cpu_slowdown(self.machine.pu_node(pu).0),
+            None => 1.0,
+        }
+    }
+
     /// Charge `work` at full core speed on `pu` (sub-thread aware: the
     /// occupancy recorded via [`Gasnet::occupy_pu`] sets the SMT factor).
+    /// Straggler nodes in the fault plan stretch the charge.
     pub fn compute_on(&self, ctx: &Ctx, pu: PuId, work: Time) {
+        let slow = self.straggler_factor(pu);
+        let work = if slow > 1.0 {
+            time::from_secs_f64(time::as_secs_f64(work) * slow)
+        } else {
+            work
+        };
         self.cpu.with(|c| c.compute(ctx, &self.machine, pu, work));
     }
 
-    /// Charge `flops` at `efficiency` of peak on `pu`.
+    /// Charge `flops` at `efficiency` of peak on `pu`. Straggler nodes
+    /// deliver proportionally less of their peak.
     pub fn compute_flops_on(&self, ctx: &Ctx, pu: PuId, flops: f64, efficiency: f64) {
+        let efficiency = efficiency / self.straggler_factor(pu);
         self.cpu
             .with(|c| c.compute_flops(ctx, &self.machine, pu, flops, efficiency));
     }
@@ -302,6 +367,94 @@ impl Gasnet {
 
     // ----- one-sided communication --------------------------------------------
 
+    /// Advance past the failed attempt's injection, then sit out the ack
+    /// timeout before retransmitting.
+    fn await_retry(&self, ctx: &Ctx, local: Time, attempt: u32) {
+        let now = ctx.now();
+        let resume = local.max(now) + self.retry.backoff_after(attempt);
+        ctx.advance(resume - now);
+    }
+
+    fn retries_exhausted(
+        &self,
+        op: &'static str,
+        me: usize,
+        peer: usize,
+        bytes: usize,
+    ) -> CommError {
+        CommError::RetriesExhausted {
+            op,
+            src: me,
+            dst: peer,
+            src_node: self.thread_node(me),
+            dst_node: self.thread_node(peer),
+            bytes,
+            attempts: self.retry.max_attempts,
+        }
+    }
+
+    /// Inject towards `dst`'s node, retransmitting dropped messages with
+    /// exponential backoff until delivered or the retry budget runs out.
+    fn net_send(
+        &self,
+        ctx: &Ctx,
+        op: &'static str,
+        me: usize,
+        dst: usize,
+        bytes: usize,
+    ) -> Result<(Time, Time), CommError> {
+        let dst_node = self.thread_node(dst);
+        for attempt in 1..=self.retry.max_attempts.max(1) {
+            ctx.advance(self.fabric.send_overhead());
+            let d = ctx
+                .with_kernel(|k| self.fabric.inject(k, self.conns[me], dst_node, bytes))
+                .expect("placement guarantees valid inter-node addressing");
+            match d {
+                Delivery::Delivered { local, remote } => return Ok((local, remote)),
+                Delivery::Dropped { local } => self.await_retry(ctx, local, attempt),
+            }
+        }
+        Err(self.retries_exhausted(op, me, dst, bytes))
+    }
+
+    /// RDMA read from `src`'s node with the same retransmission loop.
+    fn net_get(
+        &self,
+        ctx: &Ctx,
+        op: &'static str,
+        me: usize,
+        src: usize,
+        bytes: usize,
+    ) -> Result<(Time, Time), CommError> {
+        let src_node = self.thread_node(src);
+        for attempt in 1..=self.retry.max_attempts.max(1) {
+            ctx.advance(self.fabric.send_overhead());
+            let d = ctx
+                .with_kernel(|k| self.fabric.rdma_get(k, self.conns[me], src_node, bytes))
+                .expect("placement guarantees valid inter-node addressing");
+            match d {
+                Delivery::Delivered { local, remote } => return Ok((local, remote)),
+                Delivery::Dropped { local } => self.await_retry(ctx, local, attempt),
+            }
+        }
+        Err(self.retries_exhausted(op, me, src, bytes))
+    }
+
+    /// Fallible non-blocking put: like [`Gasnet::put_nb`] but surfaces
+    /// [`CommError::RetriesExhausted`] instead of panicking when the fault
+    /// plan eats every retransmission.
+    pub fn try_put_nb(
+        &self,
+        ctx: &Ctx,
+        me: usize,
+        dst: usize,
+        dst_off: usize,
+        data: &[u64],
+    ) -> Result<Handle, CommError> {
+        self.segments[dst].write(dst_off, data);
+        self.charge_transfer(ctx, "put", me, dst, data.len() * WORD_BYTES)
+    }
+
     /// Non-blocking put of `data` into `dst`'s segment at word offset
     /// `dst_off`. Bytes move immediately; the returned handle's completions
     /// fire at the modeled times.
@@ -313,15 +466,50 @@ impl Gasnet {
         dst_off: usize,
         data: &[u64],
     ) -> Handle {
-        self.segments[dst].write(dst_off, data);
-        self.charge_transfer(ctx, me, dst, data.len() * WORD_BYTES)
+        self.try_put_nb(ctx, me, dst, dst_off, data)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible blocking put.
+    pub fn try_put(
+        &self,
+        ctx: &Ctx,
+        me: usize,
+        dst: usize,
+        dst_off: usize,
+        data: &[u64],
+    ) -> Result<(), CommError> {
+        let h = self.try_put_nb(ctx, me, dst, dst_off, data)?;
+        self.wait_sync(ctx, me, h);
+        Ok(())
     }
 
     /// Blocking put: returns when the data is visible at the destination
     /// (`upc_memput` semantics).
     pub fn put(&self, ctx: &Ctx, me: usize, dst: usize, dst_off: usize, data: &[u64]) {
-        let h = self.put_nb(ctx, me, dst, dst_off, data);
-        self.wait_sync(ctx, me, h);
+        self.try_put(ctx, me, dst, dst_off, data)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible non-blocking get.
+    pub fn try_get_nb(
+        &self,
+        ctx: &Ctx,
+        me: usize,
+        src: usize,
+        src_off: usize,
+        out: &mut [u64],
+    ) -> Result<Handle, CommError> {
+        self.segments[src].read(src_off, out);
+        let bytes = out.len() * WORD_BYTES;
+        match self.path(me, src) {
+            AccessPath::Network => {
+                // Request + RDMA read response.
+                let (req_done, data_here) = self.net_get(ctx, "get", me, src, bytes)?;
+                Ok(self.make_handle(ctx, me, req_done, data_here))
+            }
+            path => Ok(self.charge_local_copy(ctx, me, src, bytes, path)),
+        }
     }
 
     /// Non-blocking get from `src`'s segment at `src_off` into `out`.
@@ -335,26 +523,56 @@ impl Gasnet {
         src_off: usize,
         out: &mut [u64],
     ) -> Handle {
-        self.segments[src].read(src_off, out);
-        let bytes = out.len() * WORD_BYTES;
-        match self.path(me, src) {
-            AccessPath::Network => {
-                // Request + RDMA read response.
-                ctx.advance(self.fabric.send_overhead());
-                let (req_done, data_here) = ctx.with_kernel(|k| {
-                    self.fabric
-                        .rdma_get(k, self.conns[me], self.thread_node(src), bytes)
-                });
-                self.make_handle(ctx, me, req_done, data_here)
-            }
-            path => self.charge_local_copy(ctx, me, src, bytes, path),
-        }
+        self.try_get_nb(ctx, me, src, src_off, out)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible blocking get.
+    pub fn try_get(
+        &self,
+        ctx: &Ctx,
+        me: usize,
+        src: usize,
+        src_off: usize,
+        out: &mut [u64],
+    ) -> Result<(), CommError> {
+        let h = self.try_get_nb(ctx, me, src, src_off, out)?;
+        self.wait_sync(ctx, me, h);
+        Ok(())
     }
 
     /// Blocking get (`upc_memget` semantics).
     pub fn get(&self, ctx: &Ctx, me: usize, src: usize, src_off: usize, out: &mut [u64]) {
-        let h = self.get_nb(ctx, me, src, src_off, out);
-        self.wait_sync(ctx, me, h);
+        self.try_get(ctx, me, src, src_off, out)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible non-blocking memcpy.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_memcpy_nb(
+        &self,
+        ctx: &Ctx,
+        me: usize,
+        dst: usize,
+        dst_off: usize,
+        src: usize,
+        src_off: usize,
+        len: usize,
+    ) -> Result<Handle, CommError> {
+        Segment::copy_between(&self.segments[src], src_off, &self.segments[dst], dst_off, len);
+        let bytes = len * WORD_BYTES;
+        // Dominant cost: whichever leg leaves the initiator's node.
+        let src_path = self.path(me, src);
+        let dst_path = self.path(me, dst);
+        if dst_path == AccessPath::Network {
+            self.charge_transfer(ctx, "memcpy", me, dst, bytes)
+        } else if src_path == AccessPath::Network {
+            let (a, b) = self.net_get(ctx, "memcpy", me, src, bytes)?;
+            Ok(self.make_handle(ctx, me, a, b))
+        } else {
+            let worst = src_path.max(dst_path);
+            Ok(self.charge_local_copy(ctx, me, dst, bytes, worst))
+        }
     }
 
     /// Segment-to-segment memcpy (`upc_memcpy`): word range from
@@ -371,24 +589,25 @@ impl Gasnet {
         src_off: usize,
         len: usize,
     ) -> Handle {
-        Segment::copy_between(&self.segments[src], src_off, &self.segments[dst], dst_off, len);
-        let bytes = len * WORD_BYTES;
-        // Dominant cost: whichever leg leaves the initiator's node.
-        let src_path = self.path(me, src);
-        let dst_path = self.path(me, dst);
-        if dst_path == AccessPath::Network {
-            self.charge_transfer(ctx, me, dst, bytes)
-        } else if src_path == AccessPath::Network {
-            ctx.advance(self.fabric.send_overhead());
-            let (a, b) = ctx.with_kernel(|k| {
-                self.fabric
-                    .rdma_get(k, self.conns[me], self.thread_node(src), bytes)
-            });
-            self.make_handle(ctx, me, a, b)
-        } else {
-            let worst = src_path.max(dst_path);
-            self.charge_local_copy(ctx, me, dst, bytes, worst)
-        }
+        self.try_memcpy_nb(ctx, me, dst, dst_off, src, src_off, len)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible blocking memcpy.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_memcpy(
+        &self,
+        ctx: &Ctx,
+        me: usize,
+        dst: usize,
+        dst_off: usize,
+        src: usize,
+        src_off: usize,
+        len: usize,
+    ) -> Result<(), CommError> {
+        let h = self.try_memcpy_nb(ctx, me, dst, dst_off, src, src_off, len)?;
+        self.wait_sync(ctx, me, h);
+        Ok(())
     }
 
     /// Blocking memcpy.
@@ -403,30 +622,45 @@ impl Gasnet {
         src_off: usize,
         len: usize,
     ) {
-        let h = self.memcpy_nb(ctx, me, dst, dst_off, src, src_off, len);
-        self.wait_sync(ctx, me, h);
+        self.try_memcpy(ctx, me, dst, dst_off, src, src_off, len)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible variant of [`Gasnet::transfer_nb`].
+    pub fn try_transfer_nb(
+        &self,
+        ctx: &Ctx,
+        me: usize,
+        dst: usize,
+        bytes: usize,
+    ) -> Result<Handle, CommError> {
+        self.charge_transfer(ctx, "transfer", me, dst, bytes)
     }
 
     /// Charge the cost of moving `bytes` from `me` to `dst` without touching
     /// segment data — the timing primitive layered protocols (e.g. the MPI
     /// baseline's two-sided messages) build on.
     pub fn transfer_nb(&self, ctx: &Ctx, me: usize, dst: usize, bytes: usize) -> Handle {
-        self.charge_transfer(ctx, me, dst, bytes)
+        self.try_transfer_nb(ctx, me, dst, bytes)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Charge the transfer cost of `bytes` from `me` to `dst` and build a
     /// handle (data already moved).
-    fn charge_transfer(&self, ctx: &Ctx, me: usize, dst: usize, bytes: usize) -> Handle {
+    fn charge_transfer(
+        &self,
+        ctx: &Ctx,
+        op: &'static str,
+        me: usize,
+        dst: usize,
+        bytes: usize,
+    ) -> Result<Handle, CommError> {
         match self.path(me, dst) {
             AccessPath::Network => {
-                ctx.advance(self.fabric.send_overhead());
-                let (local_t, remote_t) = ctx.with_kernel(|k| {
-                    self.fabric
-                        .inject(k, self.conns[me], self.thread_node(dst), bytes)
-                });
-                self.make_handle(ctx, me, local_t, remote_t)
+                let (local_t, remote_t) = self.net_send(ctx, op, me, dst, bytes)?;
+                Ok(self.make_handle(ctx, me, local_t, remote_t))
             }
-            path => self.charge_local_copy(ctx, me, dst, bytes, path),
+            path => Ok(self.charge_local_copy(ctx, me, dst, bytes, path)),
         }
     }
 
@@ -512,17 +746,44 @@ impl Gasnet {
         }
     }
 
+    /// Fallible full-job barrier: like [`Gasnet::barrier`], but when
+    /// `GasnetConfig::barrier_timeout` is set, a thread stuck longer than
+    /// the timeout aborts with [`CommError::BarrierTimeout`] instead of
+    /// hanging the simulation until the deadlock detector fires.
+    ///
+    /// A timed-out thread's arrival is withdrawn: the barrier round is
+    /// broken for everyone still parked in it (they too will time out), which
+    /// is the honest failure shape — a barrier with a missing participant
+    /// cannot be "partially" passed.
+    pub fn try_barrier(&self, ctx: &Ctx, me: usize) -> Result<(), CommError> {
+        self.quiesce(ctx, me);
+        match self.barrier_timeout {
+            None => {
+                ctx.barrier_wait_cost(self.barrier_all, self.barrier_cost());
+                Ok(())
+            }
+            Some(timeout) => ctx
+                .barrier_wait_timeout_cost(self.barrier_all, self.barrier_cost(), timeout)
+                .map_err(|_| CommError::BarrierTimeout { thread: me, timeout }),
+        }
+    }
+
     /// Full-job barrier (`upc_barrier`): drains outstanding ops, then a
     /// dissemination barrier whose release cost scales with log₂(nodes).
     pub fn barrier(&self, ctx: &Ctx, me: usize) {
-        self.quiesce(ctx, me);
-        ctx.barrier_wait_cost(self.barrier_all, self.barrier_cost());
+        self.try_barrier(ctx, me).unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Split-phase barrier, arrival half (`upc_notify`): signals this
     /// thread's arrival and returns immediately. Outstanding non-blocking
     /// operations are drained first (UPC's barrier memory semantics).
+    /// Panics on a double notify (two `upc_notify` with no `upc_wait`
+    /// between them — erroneous per the UPC spec).
     pub fn barrier_notify(&self, ctx: &Ctx, me: usize) {
+        self.split_notified[me].with_mut(|n| {
+            assert!(!*n, "upc_notify twice without an intervening upc_wait");
+            *n = true;
+        });
         self.quiesce(ctx, me);
         ctx.advance(self.overheads.barrier_stage); // initiation cost
         self.split_target[me].with_mut(|t| *t = self.split_gen.get() + 1);
@@ -541,11 +802,15 @@ impl Gasnet {
     /// phase this thread notified for has completed. Panics if called
     /// without a preceding [`Gasnet::barrier_notify`].
     pub fn barrier_wait_phase(&self, ctx: &Ctx, me: usize) {
+        assert!(
+            self.split_notified[me].get(),
+            "upc_wait without a matching upc_notify"
+        );
         let target = self.split_target[me].get();
-        assert!(target > 0, "upc_wait without a matching upc_notify");
         while self.split_gen.get() < target {
             ctx.cond_wait(self.split_cond);
         }
+        self.split_notified[me].set(false);
         ctx.advance(self.barrier_cost()); // release propagation
     }
 
@@ -777,5 +1042,211 @@ mod tests {
             gn.barrier(ctx, me);
             assert_eq!(gn.segment(2).read_word(77), 41);
         });
+    }
+
+    // ----- split-phase barrier edge cases ---------------------------------
+
+    #[test]
+    #[should_panic(expected = "upc_wait without a matching upc_notify")]
+    fn split_wait_without_notify_panics() {
+        let cfg = GasnetConfig::test_default(2, 1);
+        launch(cfg, |ctx, gn, me| {
+            if me == 0 {
+                gn.barrier_wait_phase(ctx, 0); // never notified
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "upc_wait without a matching upc_notify")]
+    fn split_second_wait_without_renotify_panics() {
+        // A full notify/wait cycle, then a second wait: the flag must have
+        // been cleared by the first wait, so the second is misuse even
+        // though split_target is non-zero by now.
+        let cfg = GasnetConfig::test_default(2, 1);
+        launch(cfg, |ctx, gn, me| {
+            gn.barrier_notify(ctx, me);
+            gn.barrier_wait_phase(ctx, me);
+            if me == 0 {
+                gn.barrier_wait_phase(ctx, 0);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "upc_notify twice without an intervening upc_wait")]
+    fn split_double_notify_panics() {
+        let cfg = GasnetConfig::test_default(2, 1);
+        launch(cfg, |ctx, gn, me| {
+            if me == 0 {
+                gn.barrier_notify(ctx, 0);
+                gn.barrier_notify(ctx, 0);
+            } else {
+                gn.barrier_notify(ctx, 1);
+                gn.barrier_wait_phase(ctx, 1);
+            }
+        });
+    }
+
+    // ----- fault injection + recovery -------------------------------------
+
+    #[test]
+    fn lossy_put_retries_and_delivers() {
+        // 20% loss: every put must still land (the retry budget makes the
+        // chance of 8 consecutive drops ~2.6e-6 per message) and data must
+        // be correct.
+        let mut cfg = GasnetConfig::test_default(4, 2);
+        cfg.conduit = Conduit::gige();
+        cfg.fault = Some(FaultPlan::new(11).loss(0.20));
+        launch(cfg, |ctx, gn, me| {
+            if me == 0 {
+                for i in 0..32u64 {
+                    gn.try_put(ctx, 0, 2, i as usize, &[i * 3]).unwrap();
+                }
+            }
+            gn.barrier(ctx, me);
+            if me == 2 {
+                for i in 0..32u64 {
+                    assert_eq!(gn.segment(2).read_word(i as usize), i * 3);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn lossy_put_takes_longer_than_clean_put() {
+        let run = |plan: Option<FaultPlan>| -> Time {
+            let mut cfg = GasnetConfig::test_default(4, 2);
+            cfg.conduit = Conduit::gige();
+            cfg.fault = plan;
+            let out = Arc::new(Mutex::new(0));
+            let o2 = Arc::clone(&out);
+            launch(cfg, move |ctx, gn, me| {
+                if me == 0 {
+                    for i in 0..64 {
+                        gn.put(ctx, 0, 2, i, &[1]);
+                    }
+                    *o2.lock().unwrap() = ctx.now();
+                }
+                gn.barrier(ctx, me);
+            });
+            let v = *out.lock().unwrap();
+            v
+        };
+        let clean = run(None);
+        let lossy = run(Some(FaultPlan::new(3).loss(0.25)));
+        assert!(lossy > clean, "lossy {lossy} vs clean {clean}");
+        // And an identity plan is *exactly* the clean run.
+        assert_eq!(run(Some(FaultPlan::new(3))), clean);
+    }
+
+    #[test]
+    fn dead_link_exhausts_retries_with_typed_error() {
+        let mut cfg = GasnetConfig::test_default(4, 2);
+        cfg.conduit = Conduit::gige();
+        // Only the node0 → node1 direction is dead.
+        cfg.fault = Some(FaultPlan::new(5).link_loss(0, 1, 1.0));
+        cfg.retry.max_attempts = 4;
+        let errs = Arc::new(Mutex::new(Vec::new()));
+        let e2 = Arc::clone(&errs);
+        launch(cfg, move |ctx, gn, me| {
+            if me == 0 {
+                let err = gn.try_put(ctx, 0, 2, 0, &[9]).unwrap_err();
+                e2.lock().unwrap().push(err);
+            }
+        });
+        let errs = errs.lock().unwrap();
+        match &errs[0] {
+            CommError::RetriesExhausted {
+                op,
+                src,
+                dst,
+                attempts,
+                ..
+            } => {
+                assert_eq!(*op, "put");
+                assert_eq!((*src, *dst), (0, 2));
+                assert_eq!(*attempts, 4);
+            }
+            other => panic!("expected RetriesExhausted, got {other}"),
+        }
+        assert!(errs[0].to_string().contains("retry budget exhausted"));
+    }
+
+    #[test]
+    fn lossy_get_retries_and_delivers() {
+        let mut cfg = GasnetConfig::test_default(4, 2);
+        cfg.conduit = Conduit::gige();
+        cfg.fault = Some(FaultPlan::new(21).loss(0.2));
+        launch(cfg, |ctx, gn, me| {
+            gn.segment(me).write_word(0, 500 + me as u64);
+            gn.barrier(ctx, me);
+            if me == 0 {
+                let mut out = [0u64];
+                gn.try_get(ctx, 0, 2, 0, &mut out).unwrap();
+                assert_eq!(out[0], 502);
+            }
+            gn.barrier(ctx, me);
+        });
+    }
+
+    #[test]
+    fn barrier_timeout_surfaces_typed_error() {
+        // Thread 1 never reaches the barrier (it "crashes" after a long
+        // sleep); the others give up with BarrierTimeout instead of
+        // deadlocking, and the simulation drains cleanly.
+        let mut cfg = GasnetConfig::test_default(4, 2);
+        cfg.barrier_timeout = Some(time::ms(1));
+        let failures = Arc::new(Mutex::new(Vec::new()));
+        let f2 = Arc::clone(&failures);
+        launch(cfg, move |ctx, gn, me| {
+            if me == 1 {
+                ctx.advance(time::secs(1)); // outlives everyone's timeout
+                return;
+            }
+            let r = gn.try_barrier(ctx, me);
+            match r.unwrap_err() {
+                CommError::BarrierTimeout { thread, timeout } => {
+                    assert_eq!(thread, me);
+                    assert_eq!(timeout, time::ms(1));
+                    f2.lock().unwrap().push(me);
+                }
+                other => panic!("expected BarrierTimeout, got {other}"),
+            }
+        });
+        let mut seen = failures.lock().unwrap().clone();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn barrier_without_timeout_is_unchanged() {
+        let cfg = GasnetConfig::test_default(4, 2);
+        launch(cfg, |ctx, gn, me| {
+            assert!(gn.try_barrier(ctx, me).is_ok());
+        });
+    }
+
+    #[test]
+    fn straggler_node_slows_compute() {
+        let run = |plan: Option<FaultPlan>| -> Time {
+            let mut cfg = GasnetConfig::test_default(4, 2);
+            cfg.fault = plan;
+            let out = Arc::new(Mutex::new(0));
+            let o2 = Arc::clone(&out);
+            launch(cfg, move |ctx, gn, me| {
+                gn.compute(ctx, me, time::us(100));
+                gn.barrier(ctx, me);
+                if me == 0 {
+                    *o2.lock().unwrap() = ctx.now();
+                }
+            });
+            let v = *out.lock().unwrap();
+            v
+        };
+        let healthy = run(None);
+        // Node 1 (threads 2,3) computes 3× slower; the barrier waits for it.
+        let straggling = run(Some(FaultPlan::new(0).straggler(1, 3.0)));
+        assert!(straggling > healthy, "{straggling} <= {healthy}");
     }
 }

@@ -188,6 +188,6 @@ mod tests {
             }
         });
         let sum: u64 = s.with_range(2, 4, |r| r.iter().sum());
-        assert_eq!(sum, 0 + 1 + 2 + 3);
+        assert_eq!(sum, 1 + 2 + 3);
     }
 }

@@ -107,7 +107,7 @@ mod tests {
     #[test]
     fn lone_thread_runs_at_full_speed() {
         let machine = Machine::new(MachineSpec::lehman());
-        let mut sim = Simulation::new();
+        let sim = Simulation::new();
         let mut cpu = CpuModel::build(&mut sim.kernel(), &machine);
         cpu.occupy(&machine, PuId(0));
         assert_eq!(cpu.slowdown(&machine, PuId(0)), 1.0);
@@ -116,7 +116,7 @@ mod tests {
     #[test]
     fn smt_pair_shares_core_at_aggregate_speedup() {
         let machine = Machine::new(MachineSpec::lehman());
-        let mut sim = Simulation::new();
+        let sim = Simulation::new();
         let mut cpu = CpuModel::build(&mut sim.kernel(), &machine);
         cpu.occupy(&machine, PuId(0));
         cpu.occupy(&machine, PuId(1));
@@ -130,7 +130,7 @@ mod tests {
     #[test]
     fn no_smt_machine_never_slows() {
         let machine = Machine::new(MachineSpec::pyramid());
-        let mut sim = Simulation::new();
+        let sim = Simulation::new();
         let mut cpu = CpuModel::build(&mut sim.kernel(), &machine);
         cpu.occupy(&machine, PuId(0));
         // A second occupy on the same single-PU core is clamped: the model

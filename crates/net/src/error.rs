@@ -1,0 +1,35 @@
+//! Typed errors for fabric misuse.
+//!
+//! These replace the `assert!`/`assert_ne!` panics the fabric used to throw
+//! on malformed addressing, so runtime layers can surface a real error (and
+//! tests can assert on its shape) instead of dying mid-simulation.
+
+use hupc_topo::NodeId;
+
+/// Addressing errors raised by [`crate::Fabric`] entry points.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// The destination (or connection) node does not exist on this fabric.
+    NodeOutOfRange { node: NodeId, nodes: usize },
+    /// Source and destination are the same node: the fabric only carries
+    /// inter-node messages (intra-node traffic uses
+    /// [`crate::Fabric::inject_loopback`] or the memory system).
+    SelfMessage { node: NodeId },
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {} out of fabric (fabric has {} nodes)", node.0, nodes)
+            }
+            NetError::SelfMessage { node } => write!(
+                f,
+                "fabric is for inter-node messages only (src = dst = node {})",
+                node.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}

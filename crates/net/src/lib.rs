@@ -19,10 +19,12 @@
 
 mod conduit;
 mod cpu;
+mod error;
 mod fabric;
 mod memory;
 
 pub use conduit::{Conduit, ConduitKind};
 pub use cpu::CpuModel;
-pub use fabric::{Connection, Fabric};
+pub use error::NetError;
+pub use fabric::{Connection, Delivery, Fabric};
 pub use memory::MemoryModel;

@@ -141,7 +141,7 @@ mod tests {
 
     fn setup() -> (Arc<Machine>, Simulation, Arc<MemoryModel>) {
         let machine = Arc::new(Machine::new(MachineSpec::lehman()));
-        let mut sim = Simulation::new();
+        let sim = Simulation::new();
         let mem = Arc::new(MemoryModel::build(&mut sim.kernel(), &machine));
         (machine, sim, mem)
     }

@@ -6,8 +6,8 @@ use std::thread::JoinHandle;
 
 use crate::handoff::{Handoff, Wakeup};
 use crate::kernel::{
-    ActorId, ActorMeta, ActorStatus, BarrierId, CompletionId, CondId, EventKind, Kernel, MutexId,
-    ResourceId,
+    ActorId, ActorMeta, ActorStatus, BarrierId, BlockKind, CompletionId, CondId, EventKind,
+    Kernel, MutexId, ResourceId, WaitGraph,
 };
 use crate::time::Time;
 
@@ -15,8 +15,8 @@ use crate::time::Time;
 struct Shared {
     kernel: Mutex<Kernel>,
     engine_handoff: Handoff,
-    /// Set when an actor panicked; the scheduler re-raises.
-    panic_note: Mutex<Option<String>>,
+    /// Set when an actor panicked; the scheduler surfaces it.
+    panic_note: Mutex<Option<(ActorId, String)>>,
 }
 
 /// Internal sentinel unwound through user code on simulation teardown.
@@ -53,10 +53,52 @@ pub struct ActorRef {
 impl ActorRef {
     /// Completion that fires when the actor finishes. Wait on it with
     /// [`Ctx::wait`] or poll it with [`Ctx::test`].
+    #[must_use = "dropping the exit completion loses the only way to join the actor"]
     pub fn exit_completion(&self) -> CompletionId {
         self.exit
     }
 }
+
+/// A timed wait expired before the awaited primitive fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimedOut;
+
+/// Why a run could not complete normally.
+#[derive(Clone, Debug)]
+pub enum SimError {
+    /// The event queue drained while actors were still blocked. The wait
+    /// graph names every blocked actor and the primitive (with owner /
+    /// arrival context) it is stuck on.
+    Deadlock { time: Time, wait_graph: WaitGraph },
+    /// An actor panicked; the run was abandoned.
+    ActorPanic {
+        actor: usize,
+        name: String,
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { time, wait_graph } => write!(
+                f,
+                "simulation deadlock at t={}: no events pending but actors are blocked:\n{wait_graph}",
+                crate::time::format(*time)
+            ),
+            SimError::ActorPanic {
+                actor,
+                name,
+                message,
+            } => write!(f, "actor panicked: actor {actor} '{name}': {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Outcome of a run: stats on success, a structured failure otherwise.
+pub type SimResult = Result<SimulationStats, SimError>;
 
 /// Summary statistics of a finished run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -122,8 +164,18 @@ impl Simulation {
     }
 
     /// Run until every actor has finished. Panics (with diagnostics) on
-    /// deadlock or if any actor panicked.
+    /// deadlock or if any actor panicked; use [`Simulation::run_result`] to
+    /// observe those failures as values instead.
     pub fn run(&mut self) -> SimulationStats {
+        self.run_result().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Run until every actor has finished, returning a structured
+    /// [`SimResult`]: on deadlock the error carries the full wait graph
+    /// (which actor waits on which completion / barrier / mutex, with
+    /// names); on actor panic it carries the actor and message. Tests can
+    /// assert on the failure shape instead of parsing panic strings.
+    pub fn run_result(&mut self) -> SimResult {
         assert!(!self.ran, "Simulation::run may only be called once");
         self.ran = true;
         loop {
@@ -135,7 +187,7 @@ impl Simulation {
                         events: k.events_processed(),
                         actors: k.actors.len(),
                     };
-                    return stats;
+                    return Ok(stats);
                 }
                 match k.pop_event() {
                     Some(e) => {
@@ -143,11 +195,9 @@ impl Simulation {
                         (e, k.trace)
                     }
                     None => {
-                        let report = k.blocked_report();
-                        drop(k);
-                        panic!(
-                            "simulation deadlock: no events pending but actors are blocked:\n{report}"
-                        );
+                        let wait_graph = k.wait_graph();
+                        let time = k.now();
+                        return Err(SimError::Deadlock { time, wait_graph });
                     }
                 }
             };
@@ -158,6 +208,19 @@ impl Simulation {
                 EventKind::Complete(c) => {
                     self.kernel().fire_completion(c);
                 }
+                EventKind::Timeout(a, epoch) => {
+                    // A timed wait expired. If the actor was woken since the
+                    // deadline was armed the event is stale; otherwise pull
+                    // the actor out of its wait registration and wake it
+                    // with the timed-out flag set.
+                    let mut k = self.kernel();
+                    if k.timeout_is_live(a, epoch) {
+                        k.cancel_wait(a);
+                        k.actors[a].timed_out = true;
+                        let now = k.now();
+                        k.wake_at(now, a);
+                    }
+                }
                 EventKind::Wake(a) => {
                     let handoff = {
                         let mut k = self.kernel();
@@ -166,8 +229,13 @@ impl Simulation {
                     };
                     handoff.signal();
                     self.shared.engine_handoff.wait();
-                    if let Some(msg) = self.shared.panic_note.lock().unwrap().take() {
-                        panic!("actor panicked: {msg}");
+                    if let Some((id, message)) = self.shared.panic_note.lock().unwrap().take() {
+                        let name = self.kernel().actors[id].name.clone();
+                        return Err(SimError::ActorPanic {
+                            actor: id,
+                            name,
+                            message,
+                        });
                     }
                     // Dynamically spawned threads were registered; collect
                     // their join handles lazily at teardown via kernel meta.
@@ -218,7 +286,9 @@ fn spawn_actor(
             status: ActorStatus::Blocked,
             handoff: Arc::clone(&handoff),
             exit,
-            blocked_on: "start".into(),
+            blocked_on: BlockKind::Start,
+            wake_epoch: 0,
+            timed_out: false,
         });
         k.live_actors += 1;
         let start = start_time.max(k.now());
@@ -249,7 +319,7 @@ fn spawn_actor(
             }
             if let Err(p) = result {
                 let msg = panic_message(p.as_ref());
-                *shared2.panic_note.lock().unwrap() = Some(format!("actor {id}: {msg}"));
+                *shared2.panic_note.lock().unwrap() = Some((id, msg));
                 // Mark finished so the scheduler does not hang.
                 let mut k = shared2.kernel.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                 k.actors[id].status = ActorStatus::Finished;
@@ -318,7 +388,7 @@ impl Ctx {
     }
 
     /// Yield to the scheduler and park until woken.
-    fn block(&self, on: &str) {
+    fn block(&self, on: BlockKind) {
         {
             let mut k = self.kernel();
             debug_assert_ne!(k.actors[self.id].status, ActorStatus::Finished);
@@ -333,6 +403,12 @@ impl Ctx {
         }
     }
 
+    /// Consume the timed-out flag set by an expired timed wait.
+    fn take_timed_out(&self) -> bool {
+        let mut k = self.kernel();
+        std::mem::take(&mut k.actors[self.id].timed_out)
+    }
+
     /// Charge `dt` of virtual time to this actor (pure delay, no resource).
     pub fn advance(&self, dt: Time) {
         if dt == 0 {
@@ -344,7 +420,7 @@ impl Ctx {
             let me = self.id;
             k.wake_at(t, me);
         }
-        self.block("advance");
+        self.block(BlockKind::Advance);
     }
 
     /// Charge a FIFO service of `service` time on `res`, blocking until the
@@ -359,7 +435,7 @@ impl Ctx {
             t
         };
         let _ = t;
-        self.block("resource");
+        self.block(BlockKind::Resource(res));
     }
 
     /// Block until `comp` fires. Returns immediately if it already has.
@@ -371,9 +447,32 @@ impl Ctx {
             }
             k.add_completion_waiter(comp, self.id);
             let me = self.id;
-            k.mark_blocked(me, "completion");
+            k.mark_blocked(me, BlockKind::Completion(comp));
         }
-        self.block("completion");
+        self.block(BlockKind::Completion(comp));
+    }
+
+    /// Like [`Ctx::wait`], but give up after `timeout` of virtual time: the
+    /// waiter is withdrawn and `Err(WaitTimedOut)` returned. The completion
+    /// itself is unaffected and may still fire later.
+    pub fn wait_timeout(&self, comp: CompletionId, timeout: Time) -> Result<(), WaitTimedOut> {
+        {
+            let mut k = self.kernel();
+            if k.is_complete(comp) {
+                return Ok(());
+            }
+            k.add_completion_waiter(comp, self.id);
+            let me = self.id;
+            k.mark_blocked(me, BlockKind::Completion(comp));
+            let deadline = k.now() + timeout;
+            k.schedule_timeout(me, deadline);
+        }
+        self.block(BlockKind::Completion(comp));
+        if self.take_timed_out() {
+            Err(WaitTimedOut)
+        } else {
+            Ok(())
+        }
     }
 
     /// Non-blocking poll of a completion.
@@ -388,9 +487,9 @@ impl Ctx {
             let mut k = self.kernel();
             k.add_cond_waiter(cond, self.id);
             let me = self.id;
-            k.mark_blocked(me, "cond");
+            k.mark_blocked(me, BlockKind::Cond(cond));
         }
-        self.block("cond");
+        self.block(BlockKind::Cond(cond));
     }
 
     /// Wake one actor parked on `cond`.
@@ -411,20 +510,54 @@ impl Ctx {
             let me = self.id;
             let last = k.barrier_arrive(bar, me, release_cost);
             if !last {
-                k.mark_blocked(me, "barrier");
+                k.mark_blocked(me, BlockKind::Barrier(bar));
             }
             last
         };
         if released_now {
             self.advance(release_cost);
         } else {
-            self.block("barrier");
+            self.block(BlockKind::Barrier(bar));
         }
     }
 
     /// [`Ctx::barrier_wait_cost`] with zero release cost.
     pub fn barrier_wait(&self, bar: BarrierId) {
         self.barrier_wait_cost(bar, 0);
+    }
+
+    /// Arrive at `bar` but give up after `timeout` if the barrier has not
+    /// released by then. On timeout the arrival is withdrawn (the barrier
+    /// will need `parties` fresh arrivals to release — it is effectively
+    /// broken for this round, which is exactly what the caller should
+    /// surface) and `Err(WaitTimedOut)` is returned.
+    pub fn barrier_wait_timeout_cost(
+        &self,
+        bar: BarrierId,
+        release_cost: Time,
+        timeout: Time,
+    ) -> Result<(), WaitTimedOut> {
+        let released_now = {
+            let mut k = self.kernel();
+            let me = self.id;
+            let last = k.barrier_arrive(bar, me, release_cost);
+            if !last {
+                k.mark_blocked(me, BlockKind::Barrier(bar));
+                let deadline = k.now() + timeout;
+                k.schedule_timeout(me, deadline);
+            }
+            last
+        };
+        if released_now {
+            self.advance(release_cost);
+            return Ok(());
+        }
+        self.block(BlockKind::Barrier(bar));
+        if self.take_timed_out() {
+            Err(WaitTimedOut)
+        } else {
+            Ok(())
+        }
     }
 
     /// Acquire a simulated mutex (FIFO fair), blocking if held.
@@ -434,12 +567,12 @@ impl Ctx {
             let me = self.id;
             let got = k.mutex_lock_or_enqueue(m, me);
             if !got {
-                k.mark_blocked(me, "mutex");
+                k.mark_blocked(me, BlockKind::Mutex(m));
             }
             got
         };
         if !got {
-            self.block("mutex");
+            self.block(BlockKind::Mutex(m));
         }
     }
 
@@ -727,6 +860,142 @@ mod tests {
             assert_eq!(ctx.actor_id(), 0);
         });
         assert_eq!(a.id, 0);
+        sim.run();
+    }
+
+    #[test]
+    fn deadlock_report_names_actors_and_primitives() {
+        // "miner" holds the mutex and parks at a barrier nobody else will
+        // reach; "hauler" queues on the mutex. The wait graph must name both
+        // actors and say which primitive each one is stuck on.
+        let mut sim = Simulation::new();
+        let m = sim.kernel().new_mutex();
+        let bar = sim.kernel().new_barrier(2);
+        sim.spawn("miner", move |ctx| {
+            ctx.mutex_lock(m);
+            ctx.barrier_wait(bar);
+        });
+        sim.spawn("hauler", move |ctx| {
+            ctx.advance(1);
+            ctx.mutex_lock(m);
+            ctx.barrier_wait(bar);
+        });
+        let err = sim.run_result().unwrap_err();
+        match &err {
+            SimError::Deadlock { time, wait_graph } => {
+                assert_eq!(*time, 1);
+                assert_eq!(wait_graph.edges.len(), 2);
+                let text = wait_graph.to_string();
+                assert!(text.contains("miner"), "missing actor name: {text}");
+                assert!(text.contains("hauler"), "missing actor name: {text}");
+                assert!(text.contains("barrier"), "missing primitive: {text}");
+                assert!(text.contains("mutex"), "missing primitive: {text}");
+                // the mutex edge reports its current owner
+                assert!(text.contains("held by actor 0 'miner'"), "{text}");
+            }
+            other => panic!("expected Deadlock, got {other}"),
+        }
+        let rendered = err.to_string();
+        assert!(rendered.contains("simulation deadlock at t=1"), "{rendered}");
+    }
+
+    #[test]
+    fn run_result_reports_actor_panic() {
+        let mut sim = Simulation::new();
+        sim.spawn("ok", |ctx| ctx.advance(5));
+        sim.spawn("boom", |ctx| {
+            ctx.advance(1);
+            panic!("kaboom");
+        });
+        match sim.run_result().unwrap_err() {
+            SimError::ActorPanic { actor, name, message } => {
+                assert_eq!(actor, 1);
+                assert_eq!(name, "boom");
+                assert!(message.contains("kaboom"), "{message}");
+            }
+            other => panic!("expected ActorPanic, got {other}"),
+        }
+    }
+
+    #[test]
+    fn wait_timeout_expires_and_succeeds() {
+        let mut sim = Simulation::new();
+        let comp = sim.kernel().new_completion();
+        sim.spawn("setter", move |ctx| {
+            ctx.advance(time::us(50));
+            ctx.with_kernel(|k| {
+                let now = k.now();
+                k.complete_at(now, comp);
+            });
+        });
+        sim.spawn("waiter", move |ctx| {
+            // too short: expires at t=10
+            assert!(ctx.wait_timeout(comp, time::us(10)).is_err());
+            assert_eq!(ctx.now(), time::us(10));
+            // long enough: returns at completion time, not at the deadline
+            assert!(ctx.wait_timeout(comp, time::secs(1)).is_ok());
+            assert_eq!(ctx.now(), time::us(50));
+            // already complete: immediate success
+            assert!(ctx.wait_timeout(comp, 1).is_ok());
+            assert_eq!(ctx.now(), time::us(50));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn barrier_wait_timeout_expires() {
+        let mut sim = Simulation::new();
+        let bar = sim.kernel().new_barrier(2);
+        sim.spawn("present", move |ctx| {
+            let r = ctx.barrier_wait_timeout_cost(bar, 0, time::us(20));
+            assert!(r.is_err(), "nobody else ever arrives");
+            assert_eq!(ctx.now(), time::us(20));
+        });
+        sim.spawn("absent", move |ctx| {
+            // never joins the barrier; outlives the waiter's deadline
+            ctx.advance(time::us(100));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn barrier_wait_timeout_releases_normally() {
+        let mut sim = Simulation::new();
+        let bar = sim.kernel().new_barrier(2);
+        for id in 0..2u64 {
+            sim.spawn(format!("a{id}"), move |ctx| {
+                ctx.advance(time::us(id + 1));
+                let r = ctx.barrier_wait_timeout_cost(bar, 0, time::secs(1));
+                assert!(r.is_ok());
+                // normal release at the max arrival, not at the deadline
+                assert_eq!(ctx.now(), time::us(2));
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn stale_timeout_does_not_disturb_later_waits() {
+        // A wake that races a timeout must invalidate it: after the first
+        // wait completes just before its deadline, the actor keeps running
+        // and later blocking ops must not be woken by the stale timeout.
+        let mut sim = Simulation::new();
+        let c1 = sim.kernel().new_completion();
+        sim.spawn("setter", move |ctx| {
+            ctx.advance(time::us(10));
+            ctx.with_kernel(|k| {
+                let now = k.now();
+                k.complete_at(now, c1);
+            });
+        });
+        sim.spawn("waiter", move |ctx| {
+            // completes at t=10, deadline at t=11: wake wins, timeout is stale
+            assert!(ctx.wait_timeout(c1, time::us(11)).is_ok());
+            assert_eq!(ctx.now(), time::us(10));
+            // now advance across t=11; the stale Timeout event must be inert
+            ctx.advance(time::us(100));
+            assert_eq!(ctx.now(), time::us(110));
+        });
         sim.run();
     }
 }

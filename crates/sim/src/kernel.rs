@@ -22,6 +22,10 @@ pub(crate) type ActorId = usize;
 pub struct ResourceId(pub(crate) usize);
 
 /// Handle to a one-shot completion (an async operation's "done" flag).
+///
+/// `#[must_use]`: a dropped completion is a lost-completion bug — nobody can
+/// ever wait on or poll the operation it represents.
+#[must_use = "dropping a CompletionId loses the only way to observe the operation"]
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CompletionId(pub(crate) usize);
 
@@ -42,6 +46,10 @@ pub struct MutexId(pub(crate) usize);
 pub(crate) enum EventKind {
     Wake(ActorId),
     Complete(CompletionId),
+    /// Timed-wait deadline for an actor; the `u64` is the actor's wake
+    /// epoch at scheduling time — a stale epoch means the actor was woken
+    /// (and possibly re-blocked) in the meantime and the timeout is void.
+    Timeout(ActorId, u64),
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -74,14 +82,36 @@ pub(crate) enum ActorStatus {
     Finished,
 }
 
+/// What a blocked actor is waiting for — typed, so the deadlock detector can
+/// walk the wait graph (who holds the mutex, how many arrived at the
+/// barrier) instead of printing an opaque string.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BlockKind {
+    /// Spawned, first wake not yet delivered.
+    Start,
+    /// Pure time delay ([`crate::Ctx::advance`]); always has a pending wake.
+    Advance,
+    /// FIFO resource service; always has a pending wake.
+    Resource(ResourceId),
+    Completion(CompletionId),
+    Cond(CondId),
+    Barrier(BarrierId),
+    Mutex(MutexId),
+}
+
 pub(crate) struct ActorMeta {
     pub name: String,
     pub status: ActorStatus,
     pub handoff: Arc<Handoff>,
     /// Completed when the actor finishes; joiners wait on it.
     pub exit: CompletionId,
-    /// What the actor is blocked on, for deadlock diagnostics.
-    pub blocked_on: String,
+    /// What the actor is blocked on, for timeouts and deadlock diagnostics.
+    pub blocked_on: BlockKind,
+    /// Bumped on every wake; outstanding `Timeout` events carrying an older
+    /// epoch are stale and ignored.
+    pub wake_epoch: u64,
+    /// Set when the last wake was a timed-wait expiry (consumed by `Ctx`).
+    pub timed_out: bool,
 }
 
 #[derive(Debug)]
@@ -189,13 +219,49 @@ impl Kernel {
             self.actors[actor].name
         );
         self.actors[actor].status = ActorStatus::Runnable;
-        self.actors[actor].blocked_on.clear();
+        self.actors[actor].wake_epoch += 1; // voids outstanding timeouts
         self.push_event(time, EventKind::Wake(actor));
     }
 
-    pub(crate) fn mark_blocked(&mut self, actor: ActorId, on: &str) {
+    pub(crate) fn mark_blocked(&mut self, actor: ActorId, on: BlockKind) {
         self.actors[actor].status = ActorStatus::Blocked;
-        self.actors[actor].blocked_on = on.to_string();
+        self.actors[actor].blocked_on = on;
+    }
+
+    /// Arm a timed-wait deadline for `actor` at `at`. Must be called while
+    /// the actor is (about to be) blocked; voided automatically if the actor
+    /// is woken before the deadline.
+    pub(crate) fn schedule_timeout(&mut self, actor: ActorId, at: Time) {
+        let epoch = self.actors[actor].wake_epoch;
+        self.push_event(at, EventKind::Timeout(actor, epoch));
+    }
+
+    /// Whether a `Timeout(actor, epoch)` event is still live when popped.
+    pub(crate) fn timeout_is_live(&self, actor: ActorId, epoch: u64) -> bool {
+        self.actors[actor].status == ActorStatus::Blocked
+            && self.actors[actor].wake_epoch == epoch
+    }
+
+    /// Withdraw `actor` from whatever wait registration it holds (the
+    /// cleanup half of a timed-wait expiry). A barrier arrival is taken
+    /// back — the barrier will need a fresh arrival from someone to release,
+    /// which is exactly the "broken barrier" semantics a timeout reports.
+    pub(crate) fn cancel_wait(&mut self, actor: ActorId) {
+        match self.actors[actor].blocked_on {
+            BlockKind::Completion(c) => {
+                self.completions[c.0].waiters.retain(|&w| w != actor);
+            }
+            BlockKind::Cond(c) => {
+                self.conds[c.0].waiters.retain(|&w| w != actor);
+            }
+            BlockKind::Barrier(b) => {
+                self.barriers[b.0].arrived.retain(|&w| w != actor);
+            }
+            BlockKind::Mutex(m) => {
+                self.mutexes[m.0].queue.retain(|&w| w != actor);
+            }
+            BlockKind::Start | BlockKind::Advance | BlockKind::Resource(_) => {}
+        }
     }
 
     pub(crate) fn mark_running(&mut self, actor: ActorId) {
@@ -427,17 +493,142 @@ impl Kernel {
 
     // ----- diagnostics ------------------------------------------------------
 
-    pub(crate) fn blocked_report(&self) -> String {
-        let mut s = String::new();
-        for (i, a) in self.actors.iter().enumerate() {
-            if a.status == ActorStatus::Blocked {
-                s.push_str(&format!(
-                    "  actor {i} '{}' blocked on {}\n",
-                    a.name, a.blocked_on
-                ));
+    /// Snapshot the wait graph of every blocked actor (the deadlock report).
+    pub(crate) fn wait_graph(&self) -> WaitGraph {
+        let name_of = |id: usize| self.actors[id].name.clone();
+        let edges = self
+            .actors
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.status == ActorStatus::Blocked)
+            .map(|(i, a)| {
+                let target = match a.blocked_on {
+                    BlockKind::Start => WaitTarget::Start,
+                    BlockKind::Advance => WaitTarget::Advance,
+                    BlockKind::Resource(r) => WaitTarget::Resource {
+                        id: r.0,
+                        name: self.resources[r.0].name.clone(),
+                    },
+                    BlockKind::Completion(c) => WaitTarget::Completion { id: c.0 },
+                    BlockKind::Cond(c) => WaitTarget::Cond {
+                        id: c.0,
+                        waiters: self.conds[c.0].waiters.len(),
+                    },
+                    BlockKind::Barrier(b) => WaitTarget::Barrier {
+                        id: b.0,
+                        arrived: self.barriers[b.0].arrived.len(),
+                        parties: self.barriers[b.0].parties,
+                        arrived_actors: self.barriers[b.0]
+                            .arrived
+                            .iter()
+                            .map(|&w| (w, name_of(w)))
+                            .collect(),
+                    },
+                    BlockKind::Mutex(m) => WaitTarget::Mutex {
+                        id: m.0,
+                        owner: self.mutexes[m.0].owner.map(|o| (o, name_of(o))),
+                        queue_len: self.mutexes[m.0].queue.len(),
+                    },
+                };
+                WaitEdge {
+                    actor: i,
+                    actor_name: a.name.clone(),
+                    target,
+                }
+            })
+            .collect();
+        WaitGraph { edges }
+    }
+}
+
+/// What one blocked actor is waiting on, with enough context to see *why*
+/// it cannot proceed (mutex owner, barrier arrival count, …).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WaitTarget {
+    /// Spawned but never started (the scheduler quit first).
+    Start,
+    /// A pure time delay (cannot deadlock; shown for completeness).
+    Advance,
+    /// A FIFO resource service (cannot deadlock; shown for completeness).
+    Resource { id: usize, name: String },
+    Completion { id: usize },
+    Cond { id: usize, waiters: usize },
+    Barrier {
+        id: usize,
+        arrived: usize,
+        parties: usize,
+        arrived_actors: Vec<(usize, String)>,
+    },
+    Mutex {
+        id: usize,
+        owner: Option<(usize, String)>,
+        queue_len: usize,
+    },
+}
+
+/// One blocked actor and its blocking primitive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WaitEdge {
+    pub actor: usize,
+    pub actor_name: String,
+    pub target: WaitTarget,
+}
+
+/// The full set of blocked actors at the moment the event queue drained —
+/// the structured deadlock report returned inside
+/// [`crate::SimError::Deadlock`].
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct WaitGraph {
+    pub edges: Vec<WaitEdge>,
+}
+
+impl std::fmt::Display for WaitGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.edges.is_empty() {
+            return writeln!(f, "  (no blocked actors)");
+        }
+        for e in &self.edges {
+            write!(f, "  actor {} '{}' waiting on ", e.actor, e.actor_name)?;
+            match &e.target {
+                WaitTarget::Start => writeln!(f, "its first wake (never started)")?,
+                WaitTarget::Advance => writeln!(f, "a time advance")?,
+                WaitTarget::Resource { id, name } => {
+                    writeln!(f, "resource #{id} '{name}'")?;
+                }
+                WaitTarget::Completion { id } => writeln!(f, "completion #{id}")?,
+                WaitTarget::Cond { id, waiters } => {
+                    writeln!(f, "cond #{id} ({waiters} parked, nobody to notify)")?;
+                }
+                WaitTarget::Barrier {
+                    id,
+                    arrived,
+                    parties,
+                    arrived_actors,
+                } => {
+                    let who: Vec<String> = arrived_actors
+                        .iter()
+                        .map(|(i, n)| format!("{i} '{n}'"))
+                        .collect();
+                    writeln!(
+                        f,
+                        "barrier #{id} ({arrived}/{parties} arrived: [{}])",
+                        who.join(", ")
+                    )?;
+                }
+                WaitTarget::Mutex {
+                    id,
+                    owner,
+                    queue_len,
+                } => match owner {
+                    Some((o, n)) => writeln!(
+                        f,
+                        "mutex #{id} (held by actor {o} '{n}', {queue_len} queued)"
+                    )?,
+                    None => writeln!(f, "mutex #{id} (unowned, {queue_len} queued)")?,
+                },
             }
         }
-        s
+        Ok(())
     }
 }
 

@@ -47,9 +47,12 @@ mod queue;
 pub mod time;
 
 pub use cell::SimCell;
-pub use engine::{ActorRef, Ctx, Simulation, SimulationStats};
+pub use engine::{
+    ActorRef, Ctx, SimError, SimResult, Simulation, SimulationStats, WaitTimedOut,
+};
 pub use kernel::{
-    BarrierId, CompletionId, CondId, Kernel, MutexId, ResourceId,
+    BarrierId, CompletionId, CondId, Kernel, MutexId, ResourceId, WaitEdge, WaitGraph,
+    WaitTarget,
 };
 pub use queue::SimQueue;
 pub use time::Time;

@@ -130,6 +130,9 @@ pub fn run_hybrid_triad(cfg: HybridConfig) -> TriadResult {
             conduit: Conduit::ib_qdr(),
             segment_words: 1 << 10,
             overheads: None,
+            fault: None,
+            retry: Default::default(),
+            barrier_timeout: None,
         },
         safety: ThreadSafety::Multiple,
     });

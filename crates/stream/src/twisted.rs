@@ -109,6 +109,9 @@ pub fn run_twisted_triad(cfg: TwistedConfig) -> TriadResult {
             conduit: Conduit::ib_qdr(),
             segment_words: 1 << 10,
             overheads: None,
+            fault: None,
+            retry: Default::default(),
+            barrier_timeout: None,
         },
         safety: ThreadSafety::Multiple,
     };
@@ -268,10 +271,10 @@ fn verify(upc: &Upc<'_>, a: &SharedArray<f64>, me: usize, n_per: usize) -> f64 {
     let twin = me ^ 1;
     let mut max_err = 0.0f64;
     a.with_local_words(upc, |aw| {
-        for k in 0..n_per {
+        for (k, &word) in aw.iter().enumerate().take(n_per) {
             let idx = (twin * n_per + k) as f64;
             let expect = idx + SCALAR * 0.5 * idx;
-            let err = (f64::from_bits(aw[k]) - expect).abs();
+            let err = (f64::from_bits(word) - expect).abs();
             if err > max_err {
                 max_err = err;
             }

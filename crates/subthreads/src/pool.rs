@@ -448,6 +448,9 @@ mod tests {
                 conduit: hupc_net::Conduit::ib_qdr(),
                 segment_words: 1 << 12,
                 overheads: None,
+                fault: None,
+                retry: Default::default(),
+                barrier_timeout: None,
             },
             safety: ThreadSafety::Multiple,
         };

@@ -52,7 +52,10 @@ pub use runtime::{
 pub use shared::SharedArray;
 
 // Re-exports the rest of the stack commonly needs alongside this crate.
-pub use hupc_gasnet::{AccessPath, Backend, Gasnet, GasnetConfig, Handle, Overheads};
+pub use hupc_gasnet::{
+    AccessPath, Backend, CommError, FaultPlan, Gasnet, GasnetConfig, Handle, Jitter,
+    Overheads, RetryPolicy,
+};
 pub use hupc_net::Conduit;
 pub use hupc_sim::{time, Ctx, SimulationStats, Time};
 pub use hupc_topo::{BindPolicy, MachineSpec};

@@ -4,7 +4,7 @@ use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use hupc_gasnet::{Gasnet, GasnetConfig, Handle};
+use hupc_gasnet::{CommError, Gasnet, GasnetConfig, Handle};
 use hupc_sim::{time, Ctx, MutexId, SimCell, Simulation, SimulationStats, Time};
 use hupc_topo::SocketId;
 
@@ -346,6 +346,43 @@ impl<'a> Upc<'a> {
         let gate = self.safety_gate();
         self.rt.gasnet().put(self.ctx, self.me, dst, dst_off, data);
         self.safety_release(gate);
+    }
+
+    /// Fallible `upc_memput`: surfaces [`CommError`] when the fault plan
+    /// exhausts the retry budget, so resilient algorithms (e.g. UTS work
+    /// stealing) can route around a dead link instead of dying.
+    pub fn try_memput(
+        &self,
+        dst: usize,
+        dst_off: usize,
+        data: &[u64],
+    ) -> Result<(), CommError> {
+        let gate = self.safety_gate();
+        let r = self.rt.gasnet().try_put(self.ctx, self.me, dst, dst_off, data);
+        self.safety_release(gate);
+        r
+    }
+
+    /// Fallible `upc_memget`.
+    pub fn try_memget(
+        &self,
+        src: usize,
+        src_off: usize,
+        out: &mut [u64],
+    ) -> Result<(), CommError> {
+        let gate = self.safety_gate();
+        let r = self.rt.gasnet().try_get(self.ctx, self.me, src, src_off, out);
+        self.safety_release(gate);
+        r
+    }
+
+    /// Fallible `upc_barrier` (consults `GasnetConfig::barrier_timeout`).
+    pub fn try_barrier(&self) -> Result<(), CommError> {
+        self.flush_access_costs();
+        let gate = self.safety_gate();
+        let r = self.rt.gasnet().try_barrier(self.ctx, self.me);
+        self.safety_release(gate);
+        r
     }
 
     /// `bupc_memput_async`.

@@ -14,7 +14,7 @@
 //! paths, so probe and steal costs follow the conduit (the IB-vs-Ethernet
 //! contrast of Fig 3.3 comes from exactly these operations).
 
-use hupc_upc::{SharedArray, Upc, UpcLock};
+use hupc_upc::{CommError, SharedArray, Upc, UpcLock};
 
 use crate::tree::Node;
 
@@ -98,30 +98,56 @@ impl StealStacks {
 
     /// Thief: probe `victim`'s stealable count (one-word one-sided read).
     pub fn probe(&self, upc: &Upc<'_>, victim: usize) -> usize {
+        self.try_probe(upc, victim).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible probe: surfaces the retry-budget failure instead of
+    /// panicking, so a thief facing an unreachable victim can move on to
+    /// the next one.
+    pub fn try_probe(&self, upc: &Upc<'_>, victim: usize) -> Result<usize, CommError> {
         let mut w = [0u64];
-        upc.memget(victim, self.avail_word(), &mut w);
-        w[0] as usize
+        upc.try_memget(victim, self.avail_word(), &mut w)?;
+        Ok(w[0] as usize)
     }
 
     /// Thief: transfer up to `want` nodes from `victim` (caller must hold
     /// the victim's lock). Returns the stolen nodes (possibly empty if the
     /// region drained between probe and lock).
     pub fn steal_locked(&self, upc: &Upc<'_>, victim: usize, want: usize) -> Vec<Node> {
+        self.try_steal_locked(upc, victim, want)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible transfer (caller must hold the victim's lock).
+    ///
+    /// The two reads are side-effect free in the data plane, so an error
+    /// there aborts cleanly with the victim's region untouched. The final
+    /// counter write-back is the commit point: the segment write lands
+    /// even when its modeled delivery exhausts the retry budget, so once
+    /// the reads succeeded the transfer is kept — abandoning the nodes at
+    /// that point would drop real work from the tree. A lost write-back
+    /// acknowledgement therefore only costs (a lot of) virtual time.
+    pub fn try_steal_locked(
+        &self,
+        upc: &Upc<'_>,
+        victim: usize,
+        want: usize,
+    ) -> Result<Vec<Node>, CommError> {
         let mut w = [0u64];
-        upc.memget(victim, self.avail_word(), &mut w);
+        upc.try_memget(victim, self.avail_word(), &mut w)?;
         let avail = w[0] as usize;
         let take = want.min(avail);
         if take == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let from = avail - take;
         let mut words = vec![0u64; take * Node::WORDS];
-        upc.memget(victim, self.slot_word(from), &mut words);
-        upc.memput(victim, self.avail_word(), &[from as u64]);
-        words
+        upc.try_memget(victim, self.slot_word(from), &mut words)?;
+        let _ = upc.try_memput(victim, self.avail_word(), &[from as u64]);
+        Ok(words
             .chunks_exact(Node::WORDS)
             .map(Node::from_words)
-            .collect()
+            .collect())
     }
 }
 

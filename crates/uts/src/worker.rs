@@ -9,7 +9,8 @@ use hupc_groups::{GroupLevel, GroupSet};
 use hupc_sim::{time, SimCell, Time};
 use hupc_topo::{BindPolicy, MachineSpec};
 use hupc_upc::{
-    Backend, Conduit, GasnetConfig, ThreadSafety, Upc, UpcConfig, UpcJob, UpcLock,
+    Backend, Conduit, FaultPlan, GasnetConfig, ThreadSafety, Upc, UpcConfig, UpcJob,
+    UpcLock,
 };
 
 use crate::stealstack::StealStacks;
@@ -55,6 +56,9 @@ pub struct UtsConfig {
     pub batch: usize,
     /// Capacity of each thread's stealable region, in nodes.
     pub region_cap: usize,
+    /// Optional fault plan (packet loss, jitter, stragglers). Steals that
+    /// exhaust the retry budget are rerouted to another victim.
+    pub fault: Option<FaultPlan>,
 }
 
 impl UtsConfig {
@@ -75,6 +79,7 @@ impl UtsConfig {
             node_work: time::ns(350),
             batch: 64,
             region_cap: 512,
+            fault: None,
         }
     }
 
@@ -91,6 +96,7 @@ impl UtsConfig {
             node_work: time::ns(450),
             batch: 16,
             region_cap: 64,
+            fault: None,
         }
     }
 }
@@ -109,6 +115,9 @@ pub struct UtsResult {
     pub remote_probes: u64,
     pub failed_steals: u64,
     pub releases: u64,
+    /// Steal-path operations abandoned after the retry budget ran out
+    /// (the thief moved on to another victim).
+    pub comm_failures: u64,
 }
 
 impl UtsResult {
@@ -134,6 +143,7 @@ struct Stats {
     remote_probes: u64,
     failed_steals: u64,
     releases: u64,
+    comm_failures: u64,
 }
 
 /// xorshift64* — deterministic per-thread victim selection.
@@ -171,6 +181,9 @@ pub fn run_uts(cfg: UtsConfig) -> UtsResult {
             conduit: cfg.conduit.clone(),
             segment_words: 1 << 12,
             overheads: None,
+            fault: cfg.fault.clone(),
+            retry: Default::default(),
+            barrier_timeout: None,
         },
         safety: ThreadSafety::Multiple,
     });
@@ -256,6 +269,7 @@ pub fn run_uts(cfg: UtsConfig) -> UtsResult {
         let rp = upc.allreduce_sum_u64(stats.remote_probes);
         let fs = upc.allreduce_sum_u64(stats.failed_steals);
         let rel = upc.allreduce_sum_u64(stats.releases);
+        let cf = upc.allreduce_sum_u64(stats.comm_failures);
         let dt_max = upc.allreduce_max_u64(dt);
         if me == 0 {
             let seconds = time::as_secs_f64(dt_max);
@@ -272,6 +286,7 @@ pub fn run_uts(cfg: UtsConfig) -> UtsResult {
                     remote_probes: rp,
                     failed_steals: fs,
                     releases: rel,
+                    comm_failures: cf,
                 }
             });
         }
@@ -389,7 +404,10 @@ fn attempt_steal(
     }
 }
 
-/// Probe one victim; lock and transfer on success.
+/// Probe one victim; lock and transfer on success. A probe or transfer
+/// that exhausts its retry budget (dead link, hopeless straggler) is
+/// counted in `comm_failures` and treated as a failed round — the caller's
+/// sweep simply moves on to the next victim.
 fn try_victim(
     upc: &Upc<'_>,
     cfg: &UtsConfig,
@@ -406,7 +424,13 @@ fn try_victim(
     } else {
         stats.remote_probes += 1;
     }
-    let avail = stacks.probe(upc, victim);
+    let avail = match stacks.try_probe(upc, victim) {
+        Ok(n) => n,
+        Err(_) => {
+            stats.comm_failures += 1;
+            return None;
+        }
+    };
     if avail == 0 {
         return None;
     }
@@ -416,8 +440,16 @@ fn try_victim(
         cfg.steal_granularity.min(avail)
     };
     locks[victim].lock(upc);
-    let stolen = stacks.steal_locked(upc, victim, want);
+    let stolen = stacks.try_steal_locked(upc, victim, want);
     locks[victim].unlock(upc);
+    let stolen = match stolen {
+        Ok(s) => s,
+        Err(_) => {
+            stats.comm_failures += 1;
+            stats.failed_steals += 1;
+            return None;
+        }
+    };
     if stolen.is_empty() {
         stats.failed_steals += 1;
         return None;
@@ -507,6 +539,51 @@ mod tests {
             opt.local_steal_ratio(),
             base.local_steal_ratio()
         );
+    }
+
+    #[test]
+    fn lossy_gige_still_counts_the_whole_tree() {
+        // The ISSUE acceptance scenario: UTS on GigE with 2% injected
+        // packet loss completes with the correct tree-node count.
+        let seq = sequential_traverse(&TreeParams::small_binomial(5));
+        let mut cfg = UtsConfig::small(4, 2, StealStrategy::LocalFirst, 5);
+        cfg.conduit = Conduit::gige();
+        cfg.fault = Some(FaultPlan::new(0xFA17).loss(0.02));
+        let r = run_uts(cfg);
+        assert_eq!(r.total_nodes, seq.0);
+        assert_eq!(r.max_depth, seq.1 as u64);
+        assert_eq!(r.leaves, seq.2);
+    }
+
+    #[test]
+    fn identity_fault_plan_is_byte_identical() {
+        let base = run_uts(UtsConfig::small(4, 2, StealStrategy::LocalFirstRapid, 6));
+        let mut cfg = UtsConfig::small(4, 2, StealStrategy::LocalFirstRapid, 6);
+        cfg.fault = Some(FaultPlan::new(99));
+        let r = run_uts(cfg);
+        assert_eq!(r.seconds, base.seconds);
+        assert_eq!(r.local_steals, base.local_steals);
+        assert_eq!(r.remote_steals, base.remote_steals);
+        assert_eq!(r.releases, base.releases);
+        assert_eq!(r.comm_failures, 0);
+    }
+
+    #[test]
+    fn dead_link_reroutes_steals() {
+        // Nodes 1 and 2 cannot reach each other; all their traffic must
+        // route through stealing via node 0's threads. The run still
+        // terminates with the full count, and the failed probes show up
+        // in the comm_failures counter.
+        let seq = sequential_traverse(&TreeParams::small_binomial(7));
+        let mut cfg = UtsConfig::small(6, 3, StealStrategy::Random, 7);
+        cfg.fault = Some(
+            FaultPlan::new(1)
+                .link_loss(1, 2, 1.0)
+                .link_loss(2, 1, 1.0),
+        );
+        let r = run_uts(cfg);
+        assert_eq!(r.total_nodes, seq.0);
+        assert!(r.comm_failures > 0, "expected failed probes over the dead link");
     }
 
     #[test]

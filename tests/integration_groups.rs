@@ -16,7 +16,7 @@ fn node_groups_cover_and_respect_topology() {
         assert!(g.has_cast_table());
     }
     // groups really partition
-    let mut seen = vec![false; 8];
+    let mut seen = [false; 8];
     for g in set.groups() {
         for &m in g.members() {
             assert!(!seen[m]);

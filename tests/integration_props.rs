@@ -166,3 +166,58 @@ proptest! {
         prop_assert_eq!(r.total_nodes, seq.0);
     }
 }
+
+// ----- fault model invariants ------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// An identity fault plan (no loss, no jitter, no degradation) is
+    /// invisible: for any plan seed and transfer size, the run's end time
+    /// and event count are bit-identical to a run with no plan at all.
+    #[test]
+    fn identity_fault_plan_is_invisible(plan_seed in any::<u64>(), len in 1usize..200) {
+        fn run(fault: Option<FaultPlan>, len: usize) -> (Time, u64) {
+            let mut cfg = UpcConfig::test_default(4, 2);
+            cfg.gasnet.fault = fault;
+            let job = UpcJob::new(cfg);
+            let off = job.runtime().alloc_words(len);
+            let stats = job.run(move |upc| {
+                let me = upc.mythread();
+                let data = vec![me as u64 + 1; len];
+                upc.memput((me + 1) % 4, off, &data);
+                upc.barrier();
+                let mut back = vec![0u64; len];
+                upc.memget((me + 3) % 4, off, &mut back);
+                assert_eq!(back, vec![((me + 2) % 4) as u64 + 1; len]);
+                upc.barrier();
+            });
+            (stats.end_time, stats.events)
+        }
+        let base = run(None, len);
+        let planned = run(Some(FaultPlan::new(plan_seed)), len);
+        prop_assert_eq!(base, planned);
+    }
+
+    /// Fault injection is reproducible: two runs under the same lossy,
+    /// jittery plan are bit-identical, and a different seed is allowed to
+    /// (and for this workload does) behave differently.
+    #[test]
+    fn same_seed_fault_runs_are_identical(plan_seed in any::<u64>(), tree_seed in 1u32..60) {
+        use hupc::uts::{run_uts, StealStrategy, UtsConfig};
+        fn run(plan_seed: u64, tree_seed: u32) -> (f64, u64, u64, u64) {
+            let mut cfg = UtsConfig::small(4, 2, StealStrategy::LocalFirst, tree_seed);
+            cfg.conduit = Conduit::gige();
+            cfg.fault = Some(
+                FaultPlan::new(plan_seed)
+                    .loss(0.02)
+                    .jitter(hupc::gasnet::Jitter::Uniform { max: time::us(3) }),
+            );
+            let r = run_uts(cfg);
+            (r.seconds, r.local_steals, r.remote_steals, r.comm_failures)
+        }
+        let a = run(plan_seed, tree_seed);
+        let b = run(plan_seed, tree_seed);
+        prop_assert_eq!(a, b);
+    }
+}

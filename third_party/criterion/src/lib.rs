@@ -1,0 +1,215 @@
+//! Offline drop-in subset of the `criterion` bench harness.
+//!
+//! The build environment for this workspace has no network access to
+//! crates.io, so instead of the real `criterion` we vendor the thin slice of
+//! its API that our `benches/` actually use: groups, `bench_function`,
+//! `bench_with_input`, `iter`, `iter_batched`, throughput annotations, and
+//! the `criterion_group!`/`criterion_main!` macros. Measurements are honest
+//! (median of wall-clock samples) but there is no statistical analysis,
+//! warm-up tuning, or HTML reporting.
+
+use std::time::{Duration, Instant};
+
+/// Mirrors `criterion::Throughput` — purely informational here.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Mirrors `criterion::BatchSize`; the stub treats all variants alike.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A benchmark identifier: `BenchmarkId::new("name", param)`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Passed to the closure given to `bench_function`/`bench_with_input`.
+pub struct Bencher {
+    samples: usize,
+    elapsed: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            elapsed: Vec::new(),
+        }
+    }
+
+    /// Time `routine` once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            let out = routine();
+            self.elapsed.push(t0.elapsed());
+            drop(out);
+        }
+    }
+
+    /// Time `routine` on fresh input from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            let out = routine(input);
+            self.elapsed.push(t0.elapsed());
+            drop(out);
+        }
+    }
+
+    fn median(&self) -> Duration {
+        let mut v = self.elapsed.clone();
+        if v.is_empty() {
+            return Duration::ZERO;
+        }
+        v.sort();
+        v[v.len() / 2]
+    }
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        self.report(id, &b);
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        self.report(&id.label, &b);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let med = b.median();
+        let extra = match self.throughput {
+            Some(Throughput::Bytes(n)) if med > Duration::ZERO => {
+                format!(
+                    "  ({:.1} MiB/s)",
+                    n as f64 / med.as_secs_f64() / (1024.0 * 1024.0)
+                )
+            }
+            Some(Throughput::Elements(n)) if med > Duration::ZERO => {
+                format!("  ({:.2e} elem/s)", n as f64 / med.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{}: median {:?} over {} samples{}",
+            self.name, id, med, b.samples, extra
+        );
+    }
+}
+
+/// Mirrors `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Re-export of `std::hint::black_box` under criterion's traditional path.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        let mut calls = 0;
+        g.bench_function("count", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 3);
+        g.bench_with_input(BenchmarkId::new("input", 7), &7usize, |b, &n| {
+            b.iter_batched(|| n, |x| x * 2, BatchSize::LargeInput)
+        });
+        g.finish();
+    }
+}

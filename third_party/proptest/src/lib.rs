@@ -1,0 +1,351 @@
+//! Offline drop-in subset of the `proptest` property-testing crate.
+//!
+//! The build environment for this workspace has no network access to
+//! crates.io, so we vendor the slice of proptest's API that our test suites
+//! use: the `proptest!` macro, `ProptestConfig::with_cases`, range / `any` /
+//! `prop::array` / `prop::collection::vec` strategies, and the
+//! `prop_assert*` macros. Inputs are generated from a deterministic
+//! splitmix64 stream seeded per test (by test name) and per case, so a
+//! failing case is reproducible by rerunning the same test binary; there is
+//! no shrinking — the panic message simply reports the case index so the
+//! inputs can be recovered by instrumenting the test.
+
+use std::ops::Range;
+
+// ---------------------------------------------------------------------------
+// deterministic generator
+// ---------------------------------------------------------------------------
+
+/// The RNG handed to strategies. Splitmix64: tiny, fast, and plenty good for
+/// spreading test inputs around.
+pub struct TestRng(u64);
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(seed)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)` for `bound > 0` (multiply-shift reduction).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// FNV-1a over the test name: stable seed without `std::hash`'s randomness.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// config
+// ---------------------------------------------------------------------------
+
+/// Mirrors `proptest::test_runner::Config` as used via
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// strategies
+// ---------------------------------------------------------------------------
+
+/// A source of test inputs. Unlike real proptest there is no value tree or
+/// shrinking: a strategy just produces a value from the RNG stream.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, usize);
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+    fn generate(&self, rng: &mut TestRng) -> i64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add(rng.below(span) as i64)
+    }
+}
+
+/// Unit-interval `f64` strategy used as `0.0..1.0` is not supported by the
+/// stub's `Range` impls; use `unit_f64()` instead.
+pub struct UnitF64;
+
+pub fn unit_f64() -> UnitF64 {
+    UnitF64
+}
+
+impl Strategy for UnitF64 {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// `any::<T>()` — the whole domain of `T`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Fixed-size array strategies (`prop::array::uniform20(inner)`).
+pub mod array {
+    use super::{Strategy, TestRng};
+
+    pub struct UniformArray<S, const N: usize>(S);
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+
+    macro_rules! uniform_fn {
+        ($($name:ident => $n:literal),*) => {$(
+            pub fn $name<S: Strategy>(inner: S) -> UniformArray<S, $n> {
+                UniformArray(inner)
+            }
+        )*};
+    }
+    uniform_fn!(uniform4 => 4, uniform8 => 8, uniform16 => 16, uniform20 => 20, uniform32 => 32);
+}
+
+/// Collection strategies (`prop::collection::vec(inner, len_range)`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        inner: S,
+        len: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(inner: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { inner, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.generate(rng);
+            (0..n).map(|_| self.inner.generate(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// macros
+// ---------------------------------------------------------------------------
+
+/// `prop_assert!` and friends simply panic — without shrinking there is no
+/// reason to thread `Result` through the test body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The `proptest!` macro: each contained `fn name(pat in strategy, ...)`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs. Doc comments and extra attributes on the functions are preserved.
+#[macro_export]
+macro_rules! proptest {
+    // with a leading #![proptest_config(...)]
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[doc = $doc:expr])*
+            #[test]
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[doc = $doc])*
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_seed(
+                    $crate::seed_from_name(stringify!($name)),
+                );
+                for case in 0..config.cases {
+                    $( let $arg = $crate::Strategy::generate(&($strat), &mut rng); )+
+                    let run = || { $body };
+                    if let Err(e) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                        eprintln!(
+                            "proptest case {case}/{} failed for {}",
+                            config.cases,
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(e);
+                    }
+                }
+            }
+        )*
+    };
+    // without a config block: default config
+    (
+        $(
+            $(#[doc = $doc:expr])*
+            #[test]
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[doc = $doc])*
+                #[test]
+                fn $name( $($arg in $strat),+ ) $body
+            )*
+        }
+    };
+}
+
+/// Facade matching real proptest's `prop` re-export, so prelude users can
+/// write `prop::collection::vec(...)` / `prop::array::uniform20(...)`.
+pub mod prop {
+    pub use crate::{array, collection};
+}
+
+/// Mirror of proptest's prelude: everything the test files import.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::from_seed(1);
+        for _ in 0..1000 {
+            let v = crate::Strategy::generate(&(3usize..17), &mut rng);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = crate::TestRng::from_seed(42);
+        let mut b = crate::TestRng::from_seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Vec strategy respects its length range.
+        #[test]
+        fn vec_len_in_range(xs in prop::collection::vec(0u8..10, 2..6)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            prop_assert!(xs.iter().all(|&x| x < 10));
+        }
+
+        /// Arrays are exactly N long with in-range elements.
+        #[test]
+        fn array_strategy(bytes in prop::array::uniform20(any::<u8>()), x in any::<u64>()) {
+            prop_assert_eq!(bytes.len(), 20);
+            let _ = x;
+        }
+    }
+
+    proptest! {
+        /// Default-config arm compiles and runs.
+        #[test]
+        fn default_config_arm(n in 0u32..5) {
+            prop_assert!(n < 5);
+        }
+    }
+}
