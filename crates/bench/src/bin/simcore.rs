@@ -1,0 +1,37 @@
+//! Engine microbenchmark: simcall throughput, handoff latency, and UTS
+//! host wall-clock with the scheduler-bypass fast path on vs off.
+//!
+//! Always writes `BENCH_simcore.json` in the working directory. With
+//! `--check <baseline.json>` the run fails (exit 1) when simcall
+//! throughput fell below half the baseline's — the CI perf-smoke gate.
+
+fn main() {
+    let args = hupc_bench::parse_args();
+    // Read the baseline up front: `--check BENCH_simcore.json` compares
+    // against the committed file this run is about to overwrite.
+    let baseline = args.check.as_ref().map(|p| {
+        let s = std::fs::read_to_string(p)
+            .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", p.display()));
+        hupc_bench::exp::simcore::json_number(&s, "simcalls_per_sec_fast")
+            .unwrap_or_else(|| panic!("no simcalls_per_sec_fast in {}", p.display()))
+    });
+
+    let (tables, metrics) = hupc_bench::exp::simcore::run(args.quick);
+    hupc_bench::report::emit(&args, &tables);
+
+    std::fs::write("BENCH_simcore.json", metrics.to_json())
+        .expect("cannot write BENCH_simcore.json");
+    eprintln!("[wrote BENCH_simcore.json]");
+
+    if let Some(base) = baseline {
+        let now = metrics.simcalls_per_sec_fast;
+        if now < base / 2.0 {
+            eprintln!(
+                "PERF REGRESSION: simcall throughput {now:.0}/s is less than half \
+                 the baseline {base:.0}/s"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("[perf check ok: {now:.0}/s vs baseline {base:.0}/s]");
+    }
+}

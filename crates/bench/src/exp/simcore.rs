@@ -1,0 +1,226 @@
+//! Engine microbenchmark — host-speed cost of the simcall machinery.
+//!
+//! Not a thesis figure: this measures the *simulator itself*, pinning the
+//! scheduler-bypass fast path's win. Three probes:
+//!
+//! 1. **simcall throughput** — one actor issuing back-to-back `advance`
+//!    simcalls, fast path on vs off. With the bypass every advance resolves
+//!    inline under the kernel lock; without it each one is a full
+//!    park → scheduler → heap → wake round trip.
+//! 2. **handoff latency** — two actors ping-ponging through a [`SimQueue`],
+//!    which forces the scheduler onto the critical path of every hop; this
+//!    prices the spin-then-park `Handoff` rendezvous.
+//! 3. **UTS end-to-end** — the thesis Fig 3.3 workload (quick: a small
+//!    tree), fast path on vs off, showing the bypass survives contact with
+//!    a real application's mix of simcalls.
+//!
+//! The binary also writes `BENCH_simcore.json` and, with `--check <path>`,
+//! fails when simcall throughput regressed more than 2x against a
+//! previously committed baseline.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use hupc::net::Conduit;
+use hupc::sim::{set_fast_path_default, time, SimQueue, Simulation};
+use hupc::uts::{run_uts, StealStrategy, UtsConfig};
+
+use crate::Table;
+
+/// The numbers `BENCH_simcore.json` records.
+#[derive(Clone, Copy, Debug)]
+pub struct SimcoreMetrics {
+    pub simcalls_per_sec_fast: f64,
+    pub simcalls_per_sec_slow: f64,
+    pub simcall_speedup: f64,
+    pub handoff_ns: f64,
+    pub uts_host_s_fast: f64,
+    pub uts_host_s_slow: f64,
+    pub uts_speedup: f64,
+}
+
+impl SimcoreMetrics {
+    /// Flat JSON object, one numeric field per metric.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"simcalls_per_sec_fast\": {:.0},\n  \"simcalls_per_sec_slow\": {:.0},\n  \
+             \"simcall_speedup\": {:.2},\n  \"handoff_ns\": {:.0},\n  \
+             \"uts_host_s_fast\": {:.3},\n  \"uts_host_s_slow\": {:.3},\n  \
+             \"uts_speedup\": {:.2}\n}}\n",
+            self.simcalls_per_sec_fast,
+            self.simcalls_per_sec_slow,
+            self.simcall_speedup,
+            self.handoff_ns,
+            self.uts_host_s_fast,
+            self.uts_host_s_slow,
+            self.uts_speedup,
+        )
+    }
+}
+
+/// Pull one numeric field out of a flat JSON object (the shape
+/// [`SimcoreMetrics::to_json`] writes). Enough of a parser for `--check`;
+/// no strings, no nesting.
+pub fn json_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// One actor, `n` plain advances: the pure simcall path.
+fn advance_storm(n: u64, fast: bool) -> (f64, u64) {
+    let mut sim = Simulation::new();
+    sim.set_fast_path(fast);
+    sim.spawn("storm", move |ctx| {
+        for _ in 0..n {
+            ctx.advance(time::ns(10));
+        }
+    });
+    let t0 = Instant::now();
+    let stats = sim.run();
+    let dt = t0.elapsed().as_secs_f64();
+    (n as f64 / dt, stats.fast_path_hits)
+}
+
+/// Two actors ping-ponging one token through a pair of queues; every hop
+/// crosses the scheduler, so host-time/hop prices the handoff rendezvous
+/// (two `Handoff` round trips plus one heap event per hop).
+fn pingpong(rounds: u64) -> f64 {
+    let mut sim = Simulation::new();
+    let ab = Arc::new(SimQueue::new(&mut sim.kernel()));
+    let ba = Arc::new(SimQueue::new(&mut sim.kernel()));
+    {
+        let (ab, ba) = (Arc::clone(&ab), Arc::clone(&ba));
+        sim.spawn("ping", move |ctx| {
+            for i in 0..rounds {
+                ab.push(ctx, i);
+                ba.pop(ctx);
+            }
+        });
+    }
+    sim.spawn("pong", move |ctx| {
+        for _ in 0..rounds {
+            let v = ab.pop(ctx);
+            ba.push(ctx, v);
+        }
+    });
+    let t0 = Instant::now();
+    sim.run();
+    t0.elapsed().as_secs_f64() * 1e9 / (2.0 * rounds as f64)
+}
+
+/// UTS wall clock on the host, fast path on or off. Uses the process-global
+/// default because `run_uts` builds its own `Simulation`.
+fn uts_host_seconds(quick: bool, fast: bool) -> (f64, f64) {
+    set_fast_path_default(fast);
+    let cfg = if quick {
+        UtsConfig::small(8, 2, StealStrategy::LocalFirstRapid, 18)
+    } else {
+        UtsConfig::thesis(16, Conduit::gige(), StealStrategy::LocalFirstRapid)
+    };
+    let t0 = Instant::now();
+    let r = run_uts(cfg);
+    let host = t0.elapsed().as_secs_f64();
+    set_fast_path_default(true);
+    (host, r.seconds)
+}
+
+pub fn run(quick: bool) -> (Vec<Table>, SimcoreMetrics) {
+    let n: u64 = if quick { 200_000 } else { 2_000_000 };
+    let rounds: u64 = if quick { 20_000 } else { 200_000 };
+
+    // Warm up the allocator / thread machinery once so the first timed run
+    // isn't paying one-time costs.
+    advance_storm(1_000, true);
+
+    let (fast_tput, hits) = advance_storm(n, true);
+    let (slow_tput, _) = advance_storm(n, false);
+    assert_eq!(hits, n, "every storm advance should take the bypass");
+    let hop_ns = pingpong(rounds);
+    let (uts_fast, vt_fast) = uts_host_seconds(quick, true);
+    let (uts_slow, vt_slow) = uts_host_seconds(quick, false);
+    assert!(
+        (vt_fast - vt_slow).abs() < 1e-12,
+        "fast path changed UTS virtual time: {vt_fast} vs {vt_slow}"
+    );
+
+    let m = SimcoreMetrics {
+        simcalls_per_sec_fast: fast_tput,
+        simcalls_per_sec_slow: slow_tput,
+        simcall_speedup: fast_tput / slow_tput,
+        handoff_ns: hop_ns,
+        uts_host_s_fast: uts_fast,
+        uts_host_s_slow: uts_slow,
+        uts_speedup: uts_slow / uts_fast,
+    };
+
+    let mut t1 = Table::new(
+        format!("Engine microbench — simcall throughput ({n} advances, one actor)"),
+        &["mode", "simcalls/s", "speedup"],
+    );
+    t1.row(vec![
+        "scheduler round trip".into(),
+        format!("{:.0}", m.simcalls_per_sec_slow),
+        "1.00x".into(),
+    ]);
+    t1.row(vec![
+        "bypass fast path".into(),
+        format!("{:.0}", m.simcalls_per_sec_fast),
+        format!("{:.2}x", m.simcall_speedup),
+    ]);
+
+    let mut t2 = Table::new(
+        format!("Engine microbench — scheduler handoff ({rounds} ping-pong rounds)"),
+        &["metric", "value"],
+    );
+    t2.row(vec!["host ns / hop".into(), format!("{:.0}", m.handoff_ns)]);
+
+    let mut t3 = Table::new(
+        if quick {
+            "UTS host wall-clock — small tree, 8 threads, 2 nodes".to_string()
+        } else {
+            "UTS host wall-clock — thesis Fig 3.3 scale (4M nodes, 16 threads, GigE)"
+                .to_string()
+        },
+        &["mode", "host s", "speedup"],
+    );
+    t3.row(vec![
+        "fast path off".into(),
+        format!("{:.3}", m.uts_host_s_slow),
+        "1.00x".into(),
+    ]);
+    t3.row(vec![
+        "fast path on".into(),
+        format!("{:.3}", m.uts_host_s_fast),
+        format!("{:.2}x", m.uts_speedup),
+    ]);
+
+    (vec![t1, t2, t3], m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_number_reads_back_what_to_json_writes() {
+        let m = SimcoreMetrics {
+            simcalls_per_sec_fast: 1_234_567.0,
+            simcalls_per_sec_slow: 98_765.0,
+            simcall_speedup: 12.5,
+            handoff_ns: 840.0,
+            uts_host_s_fast: 1.25,
+            uts_host_s_slow: 3.5,
+            uts_speedup: 2.8,
+        };
+        let j = m.to_json();
+        assert_eq!(json_number(&j, "simcalls_per_sec_fast"), Some(1_234_567.0));
+        assert_eq!(json_number(&j, "simcall_speedup"), Some(12.5));
+        assert_eq!(json_number(&j, "uts_speedup"), Some(2.8));
+        assert_eq!(json_number(&j, "missing"), None);
+    }
+}

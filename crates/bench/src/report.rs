@@ -8,9 +8,12 @@ use std::path::PathBuf;
 pub struct Args {
     pub csv: Option<PathBuf>,
     pub quick: bool,
+    /// Baseline JSON to compare against (only the `simcore` binary uses it).
+    pub check: Option<PathBuf>,
 }
 
-/// Parse `--csv <path>` and `--quick` from `std::env::args`.
+/// Parse `--csv <path>`, `--quick` and `--check <path>` from
+/// `std::env::args`.
 pub fn parse_args() -> Args {
     let mut out = Args::default();
     let mut it = std::env::args().skip(1);
@@ -21,9 +24,14 @@ pub fn parse_args() -> Args {
                     it.next().expect("--csv requires a path argument"),
                 ));
             }
+            "--check" => {
+                out.check = Some(PathBuf::from(
+                    it.next().expect("--check requires a path argument"),
+                ));
+            }
             "--quick" => out.quick = true,
             "--help" | "-h" => {
-                eprintln!("usage: <experiment> [--quick] [--csv <path>]");
+                eprintln!("usage: <experiment> [--quick] [--csv <path>] [--check <baseline.json>]");
                 std::process::exit(0);
             }
             other => {

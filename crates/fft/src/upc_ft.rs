@@ -407,8 +407,9 @@ fn put_block(
     match (cfg.mode, data) {
         (ComputeMode::Model, _) | (_, None) => {
             if dest == me {
-                // Self-block: a local memcpy-scale cost.
-                upc.ctx().advance(time::from_secs_f64(
+                // Self-block: a local memcpy-scale cost. Lazy — folds into
+                // the next phase's kernel interaction.
+                upc.ctx().advance_lazy(time::from_secs_f64(
                     block_words as f64 * 8.0 * 2.0 / PACK_BW,
                 ));
                 return None;

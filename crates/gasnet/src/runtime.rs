@@ -372,7 +372,9 @@ impl Gasnet {
     fn await_retry(&self, ctx: &Ctx, local: Time, attempt: u32) {
         let now = ctx.now();
         let resume = local.max(now) + self.retry.backoff_after(attempt);
-        ctx.advance(resume - now);
+        // Lazy: the backoff coalesces with the next attempt's send overhead
+        // into a single advance at the retransmission's kernel interaction.
+        ctx.advance_lazy(resume - now);
     }
 
     fn retries_exhausted(
@@ -405,7 +407,8 @@ impl Gasnet {
     ) -> Result<(Time, Time), CommError> {
         let dst_node = self.thread_node(dst);
         for attempt in 1..=self.retry.max_attempts.max(1) {
-            ctx.advance(self.fabric.send_overhead());
+            // Lazy: folded into the inject's kernel interaction just below.
+            ctx.advance_lazy(self.fabric.send_overhead());
             let d = ctx
                 .with_kernel(|k| self.fabric.inject(k, self.conns[me], dst_node, bytes))
                 .expect("placement guarantees valid inter-node addressing");
@@ -428,7 +431,8 @@ impl Gasnet {
     ) -> Result<(Time, Time), CommError> {
         let src_node = self.thread_node(src);
         for attempt in 1..=self.retry.max_attempts.max(1) {
-            ctx.advance(self.fabric.send_overhead());
+            // Lazy: folded into the rdma_get's kernel interaction just below.
+            ctx.advance_lazy(self.fabric.send_overhead());
             let d = ctx
                 .with_kernel(|k| self.fabric.rdma_get(k, self.conns[me], src_node, bytes))
                 .expect("placement guarantees valid inter-node addressing");
@@ -680,7 +684,7 @@ impl Gasnet {
             AccessPath::Loopback => (self.overheads.loopback_per_message, 2),
             AccessPath::Network => unreachable!("handled by caller"),
         };
-        ctx.advance(overhead);
+        ctx.advance_lazy(overhead); // folded into the copy charge below
         let pu = self.thread_pu(me);
         let my_home = self.segment_home(me);
         let peer_home = self.segment_home(peer);
@@ -785,7 +789,8 @@ impl Gasnet {
             *n = true;
         });
         self.quiesce(ctx, me);
-        ctx.advance(self.overheads.barrier_stage); // initiation cost
+        // Initiation cost; lazy — folded into the arrival interaction below.
+        ctx.advance_lazy(self.overheads.barrier_stage);
         self.split_target[me].with_mut(|t| *t = self.split_gen.get() + 1);
         let arrived = self.split_arrived.with_mut(|a| {
             *a += 1;

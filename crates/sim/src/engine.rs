@@ -1,6 +1,7 @@
 //! The scheduler (`Simulation`) and the actor-side API (`Ctx`).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
@@ -17,6 +18,17 @@ struct Shared {
     engine_handoff: Handoff,
     /// Set when an actor panicked; the scheduler surfaces it.
     panic_note: Mutex<Option<(ActorId, String)>>,
+}
+
+/// Poison-tolerant lock: the engine's one deliberate poisoning policy.
+///
+/// Engine-side state stays consistent across an actor panic — the panicking
+/// thread only ever completes a mutation before unwinding out of user code —
+/// so a poisoned mutex carries a usable value. Taking it everywhere (kernel
+/// and panic-note alike) means reporting a panic can never itself panic on a
+/// poisoned lock and cascade.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Internal sentinel unwound through user code on simulation teardown.
@@ -105,10 +117,18 @@ pub type SimResult = Result<SimulationStats, SimError>;
 pub struct SimulationStats {
     /// Virtual time at which the last event was processed.
     pub end_time: Time,
-    /// Total number of scheduler events processed.
+    /// Total number of events processed (scheduler-dispatched + bypassed).
     pub events: u64,
     /// Total number of actors that ran (including dynamically spawned ones).
     pub actors: usize,
+    /// Simcalls resolved inline by the scheduler-bypass fast path — no
+    /// context switch, no event-queue traffic.
+    pub fast_path_hits: u64,
+    /// Full scheduler → actor handoffs (each costs a park/wake round trip).
+    pub handoffs: u64,
+    /// Operations on the far (binary-heap) half of the split event queue;
+    /// near-bucket traffic is O(1) and not counted.
+    pub heap_ops: u64,
 }
 
 /// A deterministic discrete-event simulation.
@@ -144,12 +164,18 @@ impl Simulation {
     /// Mutable access to the kernel for pre-run setup (resources, barriers,
     /// …). Must not be called while the simulation is running.
     pub fn kernel(&self) -> MutexGuard<'_, Kernel> {
-        self.shared.kernel.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        relock(&self.shared.kernel)
     }
 
     /// Enable per-event tracing to stderr (debugging aid).
     pub fn set_trace(&self, on: bool) {
         self.kernel().trace = on;
+    }
+
+    /// Enable / disable the scheduler-bypass fast path (see
+    /// [`Kernel::set_fast_path`]). On by default.
+    pub fn set_fast_path(&self, on: bool) {
+        self.kernel().set_fast_path(on);
     }
 
     /// Spawn a root actor scheduled to start at time 0.
@@ -186,11 +212,15 @@ impl Simulation {
                         end_time: k.now(),
                         events: k.events_processed(),
                         actors: k.actors.len(),
+                        fast_path_hits: k.fast_path_hits,
+                        handoffs: k.handoffs,
+                        heap_ops: k.heap_ops,
                     };
                     return Ok(stats);
                 }
                 match k.pop_event() {
                     Some(e) => {
+                        k.log_event(e.time, e.seq, e.kind);
                         k.set_now(e.time);
                         (e, k.trace)
                     }
@@ -225,11 +255,12 @@ impl Simulation {
                     let handoff = {
                         let mut k = self.kernel();
                         k.mark_running(a);
+                        k.handoffs += 1;
                         Arc::clone(&k.actors[a].handoff)
                     };
                     handoff.signal();
                     self.shared.engine_handoff.wait();
-                    if let Some((id, message)) = self.shared.panic_note.lock().unwrap().take() {
+                    if let Some((id, message)) = relock(&self.shared.panic_note).take() {
                         let name = self.kernel().actors[id].name.clone();
                         return Err(SimError::ActorPanic {
                             actor: id,
@@ -278,7 +309,7 @@ fn spawn_actor(
 ) -> (ActorRef, JoinHandle<()>) {
     let handoff = Arc::new(Handoff::new());
     let (id, exit) = {
-        let mut k = shared.kernel.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut k = relock(&shared.kernel);
         let exit = k.new_completion();
         let id = k.actors.len();
         k.actors.push(ActorMeta {
@@ -307,6 +338,7 @@ fn spawn_actor(
                 shared: Arc::clone(&shared2),
                 id,
                 handoff: Arc::clone(&handoff),
+                deferred: AtomicU64::new(0),
             };
             let result = catch_unwind(AssertUnwindSafe(|| body(&ctx)));
             let shutdown = matches!(
@@ -319,16 +351,16 @@ fn spawn_actor(
             }
             if let Err(p) = result {
                 let msg = panic_message(p.as_ref());
-                *shared2.panic_note.lock().unwrap() = Some((id, msg));
+                *relock(&shared2.panic_note) = Some((id, msg));
                 // Mark finished so the scheduler does not hang.
-                let mut k = shared2.kernel.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                let mut k = relock(&shared2.kernel);
                 k.actors[id].status = ActorStatus::Finished;
                 k.live_actors -= 1;
                 drop(k);
                 shared2.engine_handoff.signal();
                 return;
             }
-            let mut k = shared2.kernel.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut k = relock(&shared2.kernel);
             k.actors[id].status = ActorStatus::Finished;
             k.live_actors -= 1;
             let exit = k.actors[id].exit;
@@ -358,6 +390,11 @@ pub struct Ctx {
     shared: Arc<Shared>,
     id: ActorId,
     handoff: Arc<Handoff>,
+    /// Lazily accumulated pure delay ([`Ctx::advance_lazy`]): virtual time
+    /// this actor has charged but not yet pushed into the kernel. Flushed —
+    /// as a single logical advance — before any kernel interaction, so no
+    /// other actor (and no event) can ever observe the stale clock.
+    deferred: AtomicU64,
 }
 
 impl Ctx {
@@ -372,19 +409,41 @@ impl Ctx {
         self.kernel().actors[self.id].name.clone()
     }
 
-    /// Current virtual time.
+    /// Current virtual time (includes this actor's lazily deferred delay).
     pub fn now(&self) -> Time {
-        self.kernel().now()
+        self.kernel().now() + self.deferred.load(Ordering::Relaxed)
     }
 
     fn kernel(&self) -> MutexGuard<'_, Kernel> {
-        self.shared.kernel.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        relock(&self.shared.kernel)
+    }
+
+    /// Lock the kernel after flushing any lazily deferred delay. Every
+    /// simcall that reads or mutates kernel state goes through this, which
+    /// is what makes the lazy clock invisible: by the time anything can
+    /// observe the kernel, the clock has caught up.
+    fn kernel_synced(&self) -> MutexGuard<'_, Kernel> {
+        let d = self.deferred.swap(0, Ordering::Relaxed);
+        let mut k = self.kernel();
+        if d > 0 {
+            let t = k.now() + d;
+            if k.bypass_eligible(t) {
+                k.bypass_resume(self.id, t);
+            } else {
+                k.wake_at(t, self.id);
+                drop(k);
+                self.block(BlockKind::Advance);
+                k = self.kernel();
+            }
+        }
+        k
     }
 
     /// Run `f` with mutable kernel access (for platform layers computing
-    /// multi-resource message costs). Does not block or advance time.
+    /// multi-resource message costs). Does not block or advance time beyond
+    /// flushing this actor's lazily deferred delay.
     pub fn with_kernel<R>(&self, f: impl FnOnce(&mut Kernel) -> R) -> R {
-        f(&mut self.kernel())
+        f(&mut self.kernel_synced())
     }
 
     /// Yield to the scheduler and park until woken.
@@ -410,38 +469,67 @@ impl Ctx {
     }
 
     /// Charge `dt` of virtual time to this actor (pure delay, no resource).
+    ///
+    /// Fast path: when the resulting wake would be the strictly earliest
+    /// pending event — the overwhelmingly common case — the clock advances
+    /// inline and the actor keeps running, skipping the
+    /// park → scheduler → pop → wake round trip entirely.
     pub fn advance(&self, dt: Time) {
+        // Any lazily deferred delay elapses first; merging it into this
+        // charge keeps the combined delay a single logical advance.
+        let dt = dt + self.deferred.swap(0, Ordering::Relaxed);
         if dt == 0 {
             return;
         }
         {
             let mut k = self.kernel();
             let t = k.now() + dt;
+            if k.bypass_eligible(t) {
+                k.bypass_resume(self.id, t);
+                return;
+            }
             let me = self.id;
             k.wake_at(t, me);
         }
         self.block(BlockKind::Advance);
     }
 
+    /// Charge `dt` of virtual time *lazily*: the delay accumulates in the
+    /// actor and is folded into its next kernel interaction (any simcall, or
+    /// an explicit [`Ctx::advance`]) as one combined advance. Consecutive
+    /// lazy charges coalesce — no lock, no event, no handoff — which makes
+    /// this the cheapest way to express back-to-back modeled overheads.
+    ///
+    /// Semantically the total delay is charged as a *single* advance at the
+    /// flush point; opt in only where intermediate wake points are not
+    /// observable (no other actor can interact with this one in between),
+    /// which is exactly the straight-line overhead-then-operation pattern.
+    pub fn advance_lazy(&self, dt: Time) {
+        self.deferred.fetch_add(dt, Ordering::Relaxed);
+    }
+
     /// Charge a FIFO service of `service` time on `res`, blocking until the
     /// service completes (this is how compute-on-a-core and memory-traffic
-    /// charges are expressed).
+    /// charges are expressed). Takes the same scheduler-bypass fast path as
+    /// [`Ctx::advance`] when the service completion is the next event.
     pub fn acquire(&self, res: ResourceId, service: Time) {
-        let t = {
-            let mut k = self.kernel();
+        {
+            let mut k = self.kernel_synced();
             let t = k.acquire(res, service);
+            if k.bypass_eligible(t) {
+                k.bypass_resume(self.id, t);
+                return;
+            }
             let me = self.id;
             k.wake_at(t, me);
-            t
-        };
-        let _ = t;
+        }
         self.block(BlockKind::Resource(res));
     }
 
     /// Block until `comp` fires. Returns immediately if it already has.
     pub fn wait(&self, comp: CompletionId) {
         {
-            let mut k = self.kernel();
+            let mut k = self.kernel_synced();
             if k.is_complete(comp) {
                 return;
             }
@@ -457,7 +545,7 @@ impl Ctx {
     /// itself is unaffected and may still fire later.
     pub fn wait_timeout(&self, comp: CompletionId, timeout: Time) -> Result<(), WaitTimedOut> {
         {
-            let mut k = self.kernel();
+            let mut k = self.kernel_synced();
             if k.is_complete(comp) {
                 return Ok(());
             }
@@ -477,14 +565,14 @@ impl Ctx {
 
     /// Non-blocking poll of a completion.
     pub fn test(&self, comp: CompletionId) -> bool {
-        self.kernel().is_complete(comp)
+        self.kernel_synced().is_complete(comp)
     }
 
     /// Park on a condition variable (standalone; re-check your predicate on
     /// wake — wakes are targeted but predicates are the caller's business).
     pub fn cond_wait(&self, cond: CondId) {
         {
-            let mut k = self.kernel();
+            let mut k = self.kernel_synced();
             k.add_cond_waiter(cond, self.id);
             let me = self.id;
             k.mark_blocked(me, BlockKind::Cond(cond));
@@ -494,19 +582,19 @@ impl Ctx {
 
     /// Wake one actor parked on `cond`.
     pub fn cond_notify_one(&self, cond: CondId) -> bool {
-        self.kernel().cond_notify_one(cond)
+        self.kernel_synced().cond_notify_one(cond)
     }
 
     /// Wake all actors parked on `cond`.
     pub fn cond_notify_all(&self, cond: CondId) -> usize {
-        self.kernel().cond_notify_all(cond)
+        self.kernel_synced().cond_notify_all(cond)
     }
 
     /// Arrive at `bar` and block until all parties have arrived. The barrier
     /// releases everyone at the last arrival time plus `release_cost`.
     pub fn barrier_wait_cost(&self, bar: BarrierId, release_cost: Time) {
         let released_now = {
-            let mut k = self.kernel();
+            let mut k = self.kernel_synced();
             let me = self.id;
             let last = k.barrier_arrive(bar, me, release_cost);
             if !last {
@@ -538,7 +626,7 @@ impl Ctx {
         timeout: Time,
     ) -> Result<(), WaitTimedOut> {
         let released_now = {
-            let mut k = self.kernel();
+            let mut k = self.kernel_synced();
             let me = self.id;
             let last = k.barrier_arrive(bar, me, release_cost);
             if !last {
@@ -563,7 +651,7 @@ impl Ctx {
     /// Acquire a simulated mutex (FIFO fair), blocking if held.
     pub fn mutex_lock(&self, m: MutexId) {
         let got = {
-            let mut k = self.kernel();
+            let mut k = self.kernel_synced();
             let me = self.id;
             let got = k.mutex_lock_or_enqueue(m, me);
             if !got {
@@ -579,13 +667,13 @@ impl Ctx {
     /// Try to acquire without blocking.
     pub fn mutex_try_lock(&self, m: MutexId) -> bool {
         let me = self.id;
-        self.kernel().mutex_try_lock(m, me)
+        self.kernel_synced().mutex_try_lock(m, me)
     }
 
     /// Release a simulated mutex; panics if this actor is not the owner.
     pub fn mutex_unlock(&self, m: MutexId) {
         let me = self.id;
-        self.kernel().mutex_unlock(m, me);
+        self.kernel_synced().mutex_unlock(m, me);
     }
 
     /// Spawn a child actor starting at the current time. The child is a full
@@ -595,7 +683,7 @@ impl Ctx {
     where
         F: FnOnce(&Ctx) + Send + 'static,
     {
-        let now = self.kernel().now();
+        let now = self.kernel_synced().now();
         let (actor, thread) = spawn_actor(&self.shared, name.into(), Box::new(body), now);
         // Detach: teardown in Simulation::drop joins only root threads, so
         // child threads must exit on their own. They always do: either they
@@ -972,6 +1060,119 @@ mod tests {
             });
         }
         sim.run();
+    }
+
+    #[test]
+    fn fast_path_resolves_lone_advances_inline() {
+        let mut sim = Simulation::new();
+        sim.spawn("solo", |ctx| {
+            for _ in 0..1000 {
+                ctx.advance(time::ns(10));
+            }
+        });
+        let stats = sim.run();
+        assert_eq!(stats.end_time, time::us(10));
+        // every advance after the initial wake bypasses the scheduler
+        assert_eq!(stats.fast_path_hits, 1000);
+        assert_eq!(stats.handoffs, 1, "only the initial wake needs a handoff");
+        assert_eq!(stats.events, 1001);
+    }
+
+    #[test]
+    fn fast_path_stats_off_means_zero_hits() {
+        let mut sim = Simulation::new();
+        sim.set_fast_path(false);
+        sim.spawn("solo", |ctx| {
+            for _ in 0..100 {
+                ctx.advance(time::ns(10));
+            }
+        });
+        let stats = sim.run();
+        assert_eq!(stats.fast_path_hits, 0);
+        assert_eq!(stats.handoffs, 101);
+        assert_eq!(stats.events, 101);
+    }
+
+    #[test]
+    fn fast_path_on_off_traces_are_identical() {
+        // Two interleaved actors + a resource + a barrier: the same program
+        // must produce the same full event trace either way.
+        fn run_once(fast: bool) -> (Vec<crate::kernel::TraceEvent>, Time, u64) {
+            let mut sim = Simulation::new();
+            sim.set_fast_path(fast);
+            sim.kernel().record_event_log(true);
+            let res = sim.kernel().new_resource("r");
+            let bar = sim.kernel().new_barrier(2);
+            for id in 0..2u64 {
+                sim.spawn(format!("a{id}"), move |ctx| {
+                    for i in 0..5u64 {
+                        ctx.advance(time::ns(3 + id * 7));
+                        ctx.acquire(res, time::ns(50 + i));
+                        ctx.barrier_wait(bar);
+                    }
+                });
+            }
+            let stats = sim.run();
+            let log = sim.kernel().take_event_log();
+            (log, stats.end_time, stats.events)
+        }
+        let slow = run_once(false);
+        let fast = run_once(true);
+        assert_eq!(slow, fast);
+    }
+
+    #[test]
+    fn lazy_advance_coalesces_until_flush() {
+        let mut sim = Simulation::new();
+        sim.spawn("lazy", |ctx| {
+            ctx.advance_lazy(time::ns(10));
+            ctx.advance_lazy(time::ns(20));
+            // now() sees the deferred delay without flushing it
+            assert_eq!(ctx.now(), time::ns(30));
+            // a kernel interaction flushes it as one combined advance
+            ctx.with_kernel(|k| assert_eq!(k.now(), time::ns(30)));
+            ctx.advance_lazy(time::ns(5));
+            ctx.advance(time::ns(5)); // merges deferred 5 + explicit 5
+            assert_eq!(ctx.now(), time::ns(40));
+        });
+        let stats = sim.run();
+        assert_eq!(stats.end_time, time::ns(40));
+        // initial wake + two flushes = 3 events; both flushes bypassed
+        assert_eq!(stats.events, 3);
+        assert_eq!(stats.fast_path_hits, 2);
+    }
+
+    #[test]
+    fn lazy_advance_flushes_before_blocking_ops() {
+        let mut sim = Simulation::new();
+        let bar = sim.kernel().new_barrier(2);
+        sim.spawn("lazy", move |ctx| {
+            ctx.advance_lazy(time::us(3));
+            ctx.barrier_wait(bar); // must charge the 3us before arriving
+            assert_eq!(ctx.now(), time::us(3));
+        });
+        sim.spawn("prompt", move |ctx| {
+            ctx.barrier_wait(bar);
+            assert_eq!(ctx.now(), time::us(3));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn fast_path_defers_to_earlier_or_equal_events() {
+        // A completion scheduled at the same instant an advance would end
+        // must fire first (smaller sequence number) — the advance may not
+        // bypass past it.
+        let mut sim = Simulation::new();
+        let comp = sim.kernel().new_completion();
+        sim.spawn("a", move |ctx| {
+            ctx.with_kernel(|k| k.complete_at(time::us(10), comp));
+            assert!(!ctx.test(comp));
+            ctx.advance(time::us(10));
+            assert!(ctx.test(comp), "completion at t=10 fired before resume");
+        });
+        let stats = sim.run();
+        assert_eq!(stats.end_time, time::us(10));
     }
 
     #[test]

@@ -3,8 +3,18 @@
 //! The engine guarantees that at most one party (the scheduler or a single
 //! actor) is logically running at a time. A `Handoff` is the parking spot a
 //! party waits on until the other side passes it the token.
+//!
+//! The wait is **spin-then-park**: the token lives in an atomic, and a
+//! waiter first spins on it for a short bounded burst — when the peer is
+//! about to pass the token (the common case in a tight simcall exchange)
+//! this resolves the handoff entirely in user space, with no futex sleep.
+//! Only if the token does not arrive within the burst does the waiter take
+//! the mutex and park on the condvar. Each `Handoff` has exactly one
+//! consumer (the scheduler for the engine handoff, the owning actor for its
+//! own), so consuming the token needs no CAS loop.
 
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
 
 /// Why a parked party was woken.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -15,16 +25,20 @@ pub(crate) enum Wakeup {
     Shutdown,
 }
 
-#[derive(Debug, Default)]
-struct State {
-    token: bool,
-    shutdown: bool,
-}
+const TOKEN: u32 = 1;
+/// Sticky: once set, every subsequent wait returns [`Wakeup::Shutdown`].
+const SHUTDOWN: u32 = 2;
+
+/// Spin budget before parking. A handful of microseconds of polling — enough
+/// to cover a peer that is already on its way to `signal`, short enough to
+/// cost nothing measurable when the peer runs long.
+const SPIN: u32 = 128;
 
 /// A binary-semaphore-like rendezvous point.
 #[derive(Debug, Default)]
 pub(crate) struct Handoff {
-    state: Mutex<State>,
+    state: AtomicU32,
+    park: Mutex<()>,
     cv: Condvar,
 }
 
@@ -33,33 +47,58 @@ impl Handoff {
         Self::default()
     }
 
-    /// Park until the token arrives. Returns the wakeup reason.
-    pub fn wait(&self) -> Wakeup {
-        let mut g = self.state.lock().expect("handoff mutex poisoned");
-        while !g.token {
-            g = self.cv.wait(g).expect("handoff mutex poisoned");
+    /// Consume the token if present. Single-consumer, so observing TOKEN
+    /// means we own it; `fetch_and` only clears our own observation.
+    fn try_take(&self) -> Option<Wakeup> {
+        let s = self.state.load(Ordering::Acquire);
+        if s & TOKEN == 0 {
+            return None;
         }
-        g.token = false;
-        if g.shutdown {
+        let prev = self.state.fetch_and(!TOKEN, Ordering::AcqRel);
+        debug_assert_ne!(prev & TOKEN, 0, "handoff token consumed twice");
+        Some(if prev & SHUTDOWN != 0 {
             Wakeup::Shutdown
         } else {
             Wakeup::Run
+        })
+    }
+
+    /// Park until the token arrives. Returns the wakeup reason.
+    pub fn wait(&self) -> Wakeup {
+        for _ in 0..SPIN {
+            if let Some(w) = self.try_take() {
+                return w;
+            }
+            std::hint::spin_loop();
+        }
+        let mut g = self.park.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(w) = self.try_take() {
+                return w;
+            }
+            g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Pass the token, waking the parked party (or letting the next `wait`
     /// return immediately).
     pub fn signal(&self) {
-        let mut g = self.state.lock().expect("handoff mutex poisoned");
-        g.token = true;
-        self.cv.notify_one();
+        self.state.fetch_or(TOKEN, Ordering::Release);
+        self.notify();
     }
 
     /// Pass the token flagged as shutdown; the woken party unwinds.
     pub fn signal_shutdown(&self) {
-        let mut g = self.state.lock().expect("handoff mutex poisoned");
-        g.token = true;
-        g.shutdown = true;
+        self.state.fetch_or(TOKEN | SHUTDOWN, Ordering::Release);
+        self.notify();
+    }
+
+    /// Wake a potentially parked waiter. Taking (and dropping) the park lock
+    /// between the token store and the notify closes the race with a waiter
+    /// that checked the token just before parking: it either sees the token
+    /// under the lock, or is already in `cv.wait` and receives the notify.
+    fn notify(&self) {
+        drop(self.park.lock().unwrap_or_else(PoisonError::into_inner));
         self.cv.notify_one();
     }
 }
@@ -90,5 +129,44 @@ mod tests {
         let h = Handoff::new();
         h.signal_shutdown();
         assert_eq!(h.wait(), Wakeup::Shutdown);
+    }
+
+    #[test]
+    fn shutdown_is_sticky_across_waits() {
+        let h = Handoff::new();
+        h.signal_shutdown();
+        assert_eq!(h.wait(), Wakeup::Shutdown);
+        h.signal();
+        assert_eq!(h.wait(), Wakeup::Shutdown);
+    }
+
+    #[test]
+    fn token_survives_a_parked_waiter_round_trip() {
+        // Force the park path: the signal arrives well after the spin budget.
+        let h = Arc::new(Handoff::new());
+        let h2 = Arc::clone(&h);
+        let t = std::thread::spawn(move || h2.wait());
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        h.signal();
+        assert_eq!(t.join().unwrap(), Wakeup::Run);
+    }
+
+    #[test]
+    fn many_sequential_round_trips() {
+        let h = Arc::new(Handoff::new());
+        let done = Arc::new(Handoff::new());
+        let h2 = Arc::clone(&h);
+        let d2 = Arc::clone(&done);
+        let t = std::thread::spawn(move || {
+            for _ in 0..10_000 {
+                assert_eq!(h2.wait(), Wakeup::Run);
+                d2.signal();
+            }
+        });
+        for _ in 0..10_000 {
+            h.signal();
+            assert_eq!(done.wait(), Wakeup::Run);
+        }
+        t.join().unwrap();
     }
 }

@@ -8,11 +8,29 @@
 //! hold in one place.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use crate::handoff::Handoff;
 use crate::time::Time;
+
+/// Process-wide default for the scheduler-bypass fast path; freshly created
+/// kernels inherit it. Benchmarks toggle this around whole runs; tests that
+/// need a per-run setting use [`Kernel::set_fast_path`] instead (which always
+/// wins over the default).
+static FAST_PATH_DEFAULT: AtomicBool = AtomicBool::new(true);
+
+/// Set the process-wide default for the scheduler-bypass fast path (see
+/// [`Kernel::set_fast_path`]). Only affects simulations created afterwards.
+pub fn set_fast_path_default(on: bool) {
+    FAST_PATH_DEFAULT.store(on, Ordering::SeqCst);
+}
+
+/// Current process-wide fast-path default.
+pub fn fast_path_default() -> bool {
+    FAST_PATH_DEFAULT.load(Ordering::SeqCst)
+}
 
 /// Identifies an actor within one simulation.
 pub(crate) type ActorId = usize;
@@ -144,13 +162,42 @@ struct MutexState {
     queue: Vec<ActorId>,
 }
 
+/// One processed scheduler event, as recorded by the optional event log
+/// ([`Kernel::record_event_log`]). Bypassed events are logged exactly as the
+/// full scheduler path would have logged them — same time, same sequence
+/// number, same kind — which is what lets tests assert bit-identical traces
+/// with the fast path on and off.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub time: Time,
+    pub seq: u64,
+    pub kind: TraceKind,
+}
+
+/// Public mirror of the internal event kinds for trace logging.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// An actor resumed (scheduler wake or inline bypass).
+    Wake(usize),
+    /// A completion fired.
+    Complete(usize),
+    /// A timed-wait deadline event was processed (live or stale).
+    Timeout(usize),
+}
+
 /// Central simulation state. Obtain mutable access through
 /// [`crate::Simulation::kernel`] (before the run) or
 /// [`crate::Ctx::with_kernel`] (from inside an actor).
 pub struct Kernel {
     now: Time,
     seq: u64,
-    events: BinaryHeap<Reverse<Event>>,
+    /// Near bucket of the split event queue: events scheduled *at* the
+    /// current time, in push (= sequence) order. `wake_at(now, ..)` — every
+    /// completion fire, mutex handover and cond notify — lands here, making
+    /// the hot-path insert and pop O(1) instead of a heap churn.
+    near: VecDeque<Event>,
+    /// Far half: everything scheduled strictly after `now`.
+    far: BinaryHeap<Reverse<Event>>,
     events_processed: u64,
     resources: Vec<ResourceState>,
     completions: Vec<CompletionState>,
@@ -160,6 +207,17 @@ pub struct Kernel {
     pub(crate) actors: Vec<ActorMeta>,
     pub(crate) live_actors: usize,
     pub(crate) trace: bool,
+    /// Scheduler-bypass fast path enabled for this kernel (defaults to the
+    /// process-wide [`fast_path_default`]).
+    fast_path: bool,
+    /// Simcalls resolved inline without a scheduler handoff.
+    pub(crate) fast_path_hits: u64,
+    /// Scheduler → actor dispatches that went through the full handoff.
+    pub(crate) handoffs: u64,
+    /// Pushes + pops on the far (binary-heap) half of the event queue.
+    pub(crate) heap_ops: u64,
+    /// Optional full event log for trace-equality tests.
+    event_log: Option<Vec<TraceEvent>>,
 }
 
 impl Kernel {
@@ -167,7 +225,8 @@ impl Kernel {
         Kernel {
             now: 0,
             seq: 0,
-            events: BinaryHeap::new(),
+            near: VecDeque::new(),
+            far: BinaryHeap::new(),
             events_processed: 0,
             resources: Vec::new(),
             completions: Vec::new(),
@@ -177,6 +236,51 @@ impl Kernel {
             actors: Vec::new(),
             live_actors: 0,
             trace: false,
+            fast_path: fast_path_default(),
+            fast_path_hits: 0,
+            handoffs: 0,
+            heap_ops: 0,
+            event_log: None,
+        }
+    }
+
+    /// Enable / disable the scheduler-bypass fast path for this kernel.
+    ///
+    /// With the fast path **on** (the default), a simcall whose resulting
+    /// wake is provably the next event to run — strictly earlier than every
+    /// pending event — is processed inline by the calling actor, which keeps
+    /// running without a scheduler handoff. Virtual-time behavior is
+    /// bit-identical either way (same event times, sequence numbers and
+    /// order); only host wall-clock and the `fast_path_hits` / `handoffs`
+    /// counters differ.
+    pub fn set_fast_path(&mut self, on: bool) {
+        self.fast_path = on;
+    }
+
+    /// Whether the scheduler-bypass fast path is enabled.
+    pub fn fast_path(&self) -> bool {
+        self.fast_path
+    }
+
+    /// Start recording every processed event (including bypassed ones) into
+    /// an in-memory log; retrieve it with [`Kernel::take_event_log`].
+    pub fn record_event_log(&mut self, on: bool) {
+        self.event_log = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Take the recorded event log (empty if recording was never enabled).
+    pub fn take_event_log(&mut self) -> Vec<TraceEvent> {
+        self.event_log.take().unwrap_or_default()
+    }
+
+    pub(crate) fn log_event(&mut self, time: Time, seq: u64, kind: EventKind) {
+        if let Some(log) = &mut self.event_log {
+            let kind = match kind {
+                EventKind::Wake(a) => TraceKind::Wake(a),
+                EventKind::Complete(c) => TraceKind::Complete(c.0),
+                EventKind::Timeout(a, _) => TraceKind::Timeout(a),
+            };
+            log.push(TraceEvent { time, seq, kind });
         }
     }
 
@@ -202,11 +306,85 @@ impl Kernel {
         debug_assert!(time >= self.now, "cannot schedule into the past");
         let seq = self.seq;
         self.seq += 1;
-        self.events.push(Reverse(Event { time, seq, kind }));
+        let ev = Event { time, seq, kind };
+        if time == self.now {
+            // Near bucket: all entries share `time == now` (time cannot
+            // advance past a pending now-event, so the bucket drains before
+            // `now` moves) and FIFO order is sequence order.
+            self.near.push_back(ev);
+        } else {
+            self.heap_ops += 1;
+            self.far.push(Reverse(ev));
+        }
     }
 
     pub(crate) fn pop_event(&mut self) -> Option<Event> {
-        self.events.pop().map(|Reverse(e)| e)
+        // The global minimum is the smaller of the two fronts by
+        // (time, seq). Far events tying the bucket's time were pushed before
+        // `now` reached it, so they carry smaller sequence numbers and the
+        // comparison picks them first — identical order to a single heap.
+        let take_far = match (self.near.front(), self.far.peek()) {
+            (Some(n), Some(Reverse(f))) => (f.time, f.seq) < (n.time, n.seq),
+            (None, Some(_)) => true,
+            _ => false,
+        };
+        if take_far {
+            self.heap_ops += 1;
+            self.far.pop().map(|Reverse(e)| e)
+        } else {
+            self.near.pop_front()
+        }
+    }
+
+    /// Time of the earliest pending event, if any.
+    fn earliest_pending(&self) -> Option<Time> {
+        match (self.near.front(), self.far.peek()) {
+            (Some(n), Some(Reverse(f))) => Some(n.time.min(f.time)),
+            (Some(n), None) => Some(n.time),
+            (None, Some(Reverse(f))) => Some(f.time),
+            (None, None) => None,
+        }
+    }
+
+    /// Whether an actor resuming itself at `t` may take the scheduler-bypass
+    /// fast path: its wake must be *strictly* earlier than every pending
+    /// event. (An existing event at the same time holds a smaller sequence
+    /// number and must run first, so ties disqualify.)
+    pub(crate) fn bypass_eligible(&self, t: Time) -> bool {
+        self.fast_path && self.earliest_pending().map_or(true, |p| t < p)
+    }
+
+    /// Process an actor's own wake inline: consume the sequence number the
+    /// wake event would have used, advance the clock, and account the event
+    /// — without ever enqueueing it or handing off to the scheduler. The
+    /// caller must have checked [`Kernel::bypass_eligible`]; the actor keeps
+    /// running afterwards.
+    pub(crate) fn bypass_resume(&mut self, actor: ActorId, t: Time) {
+        // Bugfix-by-construction: taking the fast path while any other event
+        // is pending at an earlier-or-equal (time, sequence) would silently
+        // reorder the schedule — fail loudly instead.
+        debug_assert!(
+            self.earliest_pending().map_or(true, |p| t < p),
+            "fast path taken at t={t} while an event at {:?} is pending",
+            self.earliest_pending()
+        );
+        debug_assert_eq!(
+            self.actors[actor].status,
+            ActorStatus::Running,
+            "fast path requires the calling actor to be the running actor"
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.actors[actor].wake_epoch += 1; // voids outstanding timeouts
+        if self.trace {
+            eprintln!(
+                "[sim t={}] Wake({actor}) [bypass]",
+                crate::time::format(t)
+            );
+        }
+        self.log_event(t, seq, EventKind::Wake(actor));
+        self.set_now(t);
+        self.fast_path_hits += 1;
     }
 
     /// Schedule a wake for `actor` at `time`, marking it runnable.
@@ -636,7 +814,7 @@ impl std::fmt::Debug for Kernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Kernel")
             .field("now", &self.now)
-            .field("pending_events", &self.events.len())
+            .field("pending_events", &(self.near.len() + self.far.len()))
             .field("actors", &self.actors.len())
             .field("live_actors", &self.live_actors)
             .field("resources", &self.resources.len())
@@ -688,5 +866,69 @@ mod tests {
     fn zero_party_barrier_rejected() {
         let mut k = Kernel::new();
         k.new_barrier(0);
+    }
+
+    #[test]
+    fn near_bucket_preserves_global_order() {
+        // A far event at time 5 pushed while now=0 must pop before bucket
+        // events pushed at now=5 (it has the smaller sequence number), and
+        // bucket events pop FIFO among themselves.
+        let mut k = Kernel::new();
+        k.push_event(5, EventKind::Complete(CompletionId(0))); // far, seq 0
+        k.push_event(3, EventKind::Complete(CompletionId(1))); // far, seq 1
+        let e = k.pop_event().unwrap();
+        assert_eq!(e.kind, EventKind::Complete(CompletionId(1)));
+        k.set_now(e.time);
+        let e = k.pop_event().unwrap();
+        assert_eq!(e.kind, EventKind::Complete(CompletionId(0)));
+        k.set_now(e.time); // now = 5
+        k.push_event(5, EventKind::Complete(CompletionId(2))); // bucket
+        k.push_event(5, EventKind::Complete(CompletionId(3))); // bucket
+        k.push_event(9, EventKind::Complete(CompletionId(4))); // far
+        assert_eq!(k.pop_event().unwrap().kind, EventKind::Complete(CompletionId(2)));
+        assert_eq!(k.pop_event().unwrap().kind, EventKind::Complete(CompletionId(3)));
+        assert_eq!(k.pop_event().unwrap().kind, EventKind::Complete(CompletionId(4)));
+        assert!(k.pop_event().is_none());
+    }
+
+    #[test]
+    fn bypass_eligibility_is_strict() {
+        let mut k = Kernel::new();
+        assert!(k.bypass_eligible(7), "empty queue: any future time is next");
+        k.push_event(10, EventKind::Complete(CompletionId(0)));
+        assert!(k.bypass_eligible(9));
+        assert!(!k.bypass_eligible(10), "tie must go to the queued event");
+        assert!(!k.bypass_eligible(11));
+        k.set_fast_path(false);
+        assert!(!k.bypass_eligible(9), "disabled fast path is never eligible");
+    }
+
+    #[test]
+    fn bypass_resume_accounts_like_a_popped_event() {
+        let mut k = Kernel::new();
+        k.record_event_log(true);
+        let exit = k.new_completion();
+        k.actors.push(ActorMeta {
+            name: "a".into(),
+            status: ActorStatus::Running,
+            handoff: Arc::new(Handoff::new()),
+            exit,
+            blocked_on: BlockKind::Start,
+            wake_epoch: 3,
+            timed_out: false,
+        });
+        k.bypass_resume(0, 42);
+        assert_eq!(k.now(), 42);
+        assert_eq!(k.events_processed(), 1);
+        assert_eq!(k.fast_path_hits, 1);
+        assert_eq!(k.actors[0].wake_epoch, 4);
+        let log = k.take_event_log();
+        assert_eq!(
+            log,
+            vec![TraceEvent { time: 42, seq: 0, kind: TraceKind::Wake(0) }]
+        );
+        // the consumed sequence number is gone: the next push gets seq 1
+        k.push_event(50, EventKind::Complete(CompletionId(1)));
+        assert_eq!(k.pop_event().unwrap().seq, 1);
     }
 }

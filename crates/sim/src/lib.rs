@@ -22,6 +22,17 @@
 //! [`SimCell`]s — interior-mutability cells whose safety is guaranteed by the
 //! engine's serialization (and policed by a runtime borrow flag).
 //!
+//! # Scheduler-bypass fast path
+//!
+//! A simcall whose resulting wake is provably the next event to run and
+//! resumes the *same* actor (a plain advance, an uncontended resource
+//! charge) is processed inline under the kernel lock — the actor keeps
+//! running with no scheduler handoff at all. Virtual-time behavior is
+//! bit-identical with the fast path on or off (same events, times and
+//! sequence numbers); only host speed and the [`SimulationStats`] counters
+//! differ. See [`Kernel::set_fast_path`], [`Ctx::advance_lazy`] and
+//! DESIGN.md §1 for the invariants.
+//!
 //! # Quick example
 //!
 //! ```
@@ -51,8 +62,8 @@ pub use engine::{
     ActorRef, Ctx, SimError, SimResult, Simulation, SimulationStats, WaitTimedOut,
 };
 pub use kernel::{
-    BarrierId, CompletionId, CondId, Kernel, MutexId, ResourceId, WaitEdge, WaitGraph,
-    WaitTarget,
+    fast_path_default, set_fast_path_default, BarrierId, CompletionId, CondId, Kernel,
+    MutexId, ResourceId, TraceEvent, TraceKind, WaitEdge, WaitGraph, WaitTarget,
 };
 pub use queue::SimQueue;
 pub use time::Time;

@@ -26,14 +26,25 @@ impl<T: Send> SimQueue<T> {
         }
     }
 
-    /// Push an item and wake one blocked consumer, if any.
+    /// Push an item and wake **one** blocked consumer, if any.
+    ///
+    /// Notify contract: one item, one wakeup. Each push wakes at most one
+    /// parked consumer, which either takes this item or — if a never-parked
+    /// consumer raced it to the pop — re-checks and parks again ([`SimQueue::pop`]
+    /// always re-tests the queue on wake). Use this for ordinary work items,
+    /// where waking everyone would only cause a thundering herd of failed
+    /// pops.
     pub fn push(&self, ctx: &Ctx, item: T) {
         self.items.with_mut(|q| q.push_back(item));
         ctx.cond_notify_one(self.cond);
     }
 
-    /// Push an item and wake all blocked consumers (used for shutdown
-    /// broadcasts where every consumer must re-check state).
+    /// Push an item and wake **all** blocked consumers.
+    ///
+    /// Notify contract: broadcast. Only one consumer gets the item; the
+    /// point is that every parked consumer re-runs its predicate, so use
+    /// this for state-change items (shutdown sentinels, epoch bumps) that
+    /// every consumer must observe even though only one dequeues the marker.
     pub fn push_broadcast(&self, ctx: &Ctx, item: T) {
         self.items.with_mut(|q| q.push_back(item));
         ctx.cond_notify_all(self.cond);
@@ -42,15 +53,20 @@ impl<T: Send> SimQueue<T> {
     /// Pop, blocking in virtual time until an item is available.
     pub fn pop(&self, ctx: &Ctx) -> T {
         loop {
-            if let Some(v) = self.items.with_mut(|q| q.pop_front()) {
+            if let Some(v) = self.try_pop() {
                 return v;
             }
             ctx.cond_wait(self.cond);
         }
     }
 
-    /// Non-blocking pop.
+    /// Non-blocking pop. Probes emptiness with a shared borrow first, so a
+    /// woken consumer that lost the race (the common spurious-wake shape)
+    /// never takes the exclusive borrow at all.
     pub fn try_pop(&self) -> Option<T> {
+        if self.items.with(|q| q.is_empty()) {
+            return None;
+        }
         self.items.with_mut(|q| q.pop_front())
     }
 
@@ -59,9 +75,10 @@ impl<T: Send> SimQueue<T> {
         self.items.with(|q| q.len())
     }
 
-    /// Whether the queue is empty.
+    /// Whether the queue is empty (shared borrow; does not contend with
+    /// other readers).
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.items.with(|q| q.is_empty())
     }
 }
 

@@ -254,7 +254,9 @@ pub fn run_uts(cfg: UtsConfig) -> UtsResult {
                     local.extend(stolen);
                     continue 'outer;
                 }
-                upc.ctx().advance(time::us(5)); // polling backoff
+                // Lazy polling backoff: consecutive empty probes coalesce
+                // into one advance at the next steal attempt's kernel call.
+                upc.ctx().advance_lazy(time::us(5));
             }
         }
         let dt = upc.now() - t0;
