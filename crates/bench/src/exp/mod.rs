@@ -8,6 +8,7 @@ pub mod fig_4_2;
 pub mod fig_4_4;
 pub mod fig_4_5;
 pub mod fig_4_6;
+pub mod hostkern;
 pub mod simcore;
 pub mod table_3_1;
 pub mod table_3_2;

@@ -128,42 +128,120 @@ impl FftPlan {
 
     /// In-place transform. The inverse is unscaled-conjugate followed by a
     /// 1/n normalization, so `inverse(forward(x)) == x`.
+    ///
+    /// The butterfly sweep fuses consecutive radix-2 stage pairs into
+    /// radix-4 passes (with one radix-2 cleanup stage first when log₂n is
+    /// odd): each 4m-block loads its four points once and applies both
+    /// stages in registers, halving the passes over `data`. The arithmetic —
+    /// per-element operations, operands, and order — is exactly that of the
+    /// plain radix-2 code ([`FftPlan::transform_radix2`]), so results are
+    /// bit-identical; only memory traffic changes.
     pub fn transform(&self, data: &mut [Complex], dir: Direction) {
         assert_eq!(data.len(), self.n, "plan is for length {}", self.n);
         let n = self.n;
         if n == 1 {
             return;
         }
+        self.pre(data, dir);
+        let mut m = 1;
+        let mut tw_base = 0;
+        if n.trailing_zeros() % 2 == 1 {
+            // Radix-2 cleanup stage (m = 1, single unit twiddle).
+            self.radix2_stage(data, m, tw_base);
+            tw_base += m;
+            m <<= 1;
+        }
+        while m < n {
+            // Fused stages (m, 2m). Stage-m twiddles start at tw_base, the
+            // 2m ones right after: w2 = tw[tw_base+m+j], w3 = tw[tw_base+m+j+m].
+            // Quarter the 4m-block into length-m slices so every inner-loop
+            // access is `slice[j]` with `j < slice.len()` — no bounds checks.
+            let (tw1, tw23) = self.twiddles[tw_base..tw_base + 3 * m].split_at(m);
+            let (tw2, tw3) = tw23.split_at(m);
+            for chunk in data.chunks_exact_mut(4 * m) {
+                let (h0, h1) = chunk.split_at_mut(2 * m);
+                let (q0, q1) = h0.split_at_mut(m);
+                let (q2, q3) = h1.split_at_mut(m);
+                for j in 0..m {
+                    let w1 = tw1[j];
+                    let w2 = tw2[j];
+                    let w3 = tw3[j];
+                    // Stage m on (a,b) and (c,d)…
+                    let t0 = q1[j] * w1;
+                    let u0 = q0[j];
+                    let a = u0 + t0;
+                    let b = u0 - t0;
+                    let t1 = q3[j] * w1;
+                    let u1 = q2[j];
+                    let c = u1 + t1;
+                    let d = u1 - t1;
+                    // …then stage 2m on (a,c) and (b,d), still in registers.
+                    let t2 = c * w2;
+                    q0[j] = a + t2;
+                    q2[j] = a - t2;
+                    let t3 = d * w3;
+                    q1[j] = b + t3;
+                    q3[j] = b - t3;
+                }
+            }
+            tw_base += 3 * m;
+            m <<= 2;
+        }
+        self.post(data, dir);
+    }
+
+    /// The historical single-stage radix-2 sweep. Kept as the reference the
+    /// `hostkern` benchmark and the bit-identity tests compare against.
+    pub fn transform_radix2(&self, data: &mut [Complex], dir: Direction) {
+        assert_eq!(data.len(), self.n, "plan is for length {}", self.n);
+        let n = self.n;
+        if n == 1 {
+            return;
+        }
+        self.pre(data, dir);
+        let mut m = 1;
+        let mut tw_base = 0;
+        while m < n {
+            self.radix2_stage(data, m, tw_base);
+            tw_base += m;
+            m <<= 1;
+        }
+        self.post(data, dir);
+    }
+
+    /// One radix-2 butterfly stage of half-size `m`.
+    #[inline]
+    fn radix2_stage(&self, data: &mut [Complex], m: usize, tw_base: usize) {
+        for k in (0..self.n).step_by(2 * m) {
+            for j in 0..m {
+                let w = self.twiddles[tw_base + j];
+                let t = data[k + j + m] * w;
+                let u = data[k + j];
+                data[k + j] = u + t;
+                data[k + j + m] = u - t;
+            }
+        }
+    }
+
+    /// Inverse conjugation + bit-reversal permutation.
+    fn pre(&self, data: &mut [Complex], dir: Direction) {
         if dir == Direction::Inverse {
             for v in data.iter_mut() {
                 *v = v.conj();
             }
         }
-        // Bit-reversal permutation.
-        for i in 0..n {
+        for i in 0..self.n {
             let j = self.bitrev[i] as usize;
             if i < j {
                 data.swap(i, j);
             }
         }
-        // Butterflies.
-        let mut m = 1;
-        let mut tw_base = 0;
-        while m < n {
-            for k in (0..n).step_by(2 * m) {
-                for j in 0..m {
-                    let w = self.twiddles[tw_base + j];
-                    let t = data[k + j + m] * w;
-                    let u = data[k + j];
-                    data[k + j] = u + t;
-                    data[k + j + m] = u - t;
-                }
-            }
-            tw_base += m;
-            m <<= 1;
-        }
+    }
+
+    /// Inverse conjugate-and-scale epilogue.
+    fn post(&self, data: &mut [Complex], dir: Direction) {
         if dir == Direction::Inverse {
-            let s = 1.0 / n as f64;
+            let s = 1.0 / self.n as f64;
             for v in data.iter_mut() {
                 *v = v.conj().scale(s);
             }
@@ -293,6 +371,26 @@ mod tests {
         plan.transform(&mut xy, Direction::Forward);
         for i in 0..n {
             assert!(close(xy[i], fx[i] + fy[i], 1e-9));
+        }
+    }
+
+    #[test]
+    fn fused_radix4_is_bit_identical_to_radix2() {
+        // Both even and odd log2(n), both directions: every output must be
+        // the same bits, not just close — Execute-mode checksums depend on it.
+        for n in [1usize, 2, 4, 8, 16, 32, 128, 1024, 2048] {
+            let plan = FftPlan::new(n);
+            for dir in [Direction::Forward, Direction::Inverse] {
+                let x = random_signal(n, 31 + n as u64);
+                let mut a = x.clone();
+                let mut b = x;
+                plan.transform(&mut a, dir);
+                plan.transform_radix2(&mut b, dir);
+                for (p, q) in a.iter().zip(&b) {
+                    assert_eq!(p.re.to_bits(), q.re.to_bits(), "n={n} {dir:?}");
+                    assert_eq!(p.im.to_bits(), q.im.to_bits(), "n={n} {dir:?}");
+                }
+            }
         }
     }
 

@@ -425,17 +425,20 @@ fn put_block(
             }
         }
         (ComputeMode::Execute, Some(d)) => {
-            let mut words = vec![0u64; block_words];
-            if forward {
-                pack_fwd_block(d, l, pl, dest, &mut words);
-            } else {
-                pack_inv_block(d, l, pl, dest, &mut words);
-            }
+            // Zero-copy: pack straight into the destination slot (charged
+            // exactly as the old staging-Vec memput of `block_words` words).
+            let pack = |words: &mut [u64]| {
+                if forward {
+                    pack_fwd_block(d, l, pl, dest, words);
+                } else {
+                    pack_inv_block(d, l, pl, dest, words);
+                }
+            };
             if blocking {
-                upc.memput(dest, dst_off, &words);
+                upc.memput_with(dest, dst_off, block_words, pack);
                 None
             } else {
-                Some(upc.memput_nb(dest, dst_off, &words))
+                Some(upc.memput_nb_with(dest, dst_off, block_words, pack).1)
             }
         }
     }

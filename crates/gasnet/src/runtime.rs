@@ -551,6 +551,104 @@ impl Gasnet {
             .unwrap_or_else(|e| panic!("{e}"));
     }
 
+    // ----- scoped zero-copy transfers ---------------------------------------
+    //
+    // The `_with` family charges exactly like the buffer-based calls above
+    // but hands the caller a borrowed view of the segment range instead of
+    // copying through a staging `Vec`. The closures run under the segment's
+    // `SimCell` borrow, so they must not issue simcalls and must not touch
+    // the same segment again.
+
+    /// Fallible non-blocking put that lets `f` write the destination words
+    /// in place. Mirrors [`Gasnet::try_put_nb`]: bytes "move" (the closure
+    /// runs) before the transfer is charged, and the charge is identical to
+    /// a put of `words * 8` bytes.
+    pub fn try_put_nb_with<R>(
+        &self,
+        ctx: &Ctx,
+        me: usize,
+        dst: usize,
+        dst_off: usize,
+        words: usize,
+        f: impl FnOnce(&mut [u64]) -> R,
+    ) -> Result<(R, Handle), CommError> {
+        let r = self.segments[dst].with_range_mut(dst_off, words, f);
+        let h = self.charge_transfer(ctx, "put", me, dst, words * WORD_BYTES)?;
+        Ok((r, h))
+    }
+
+    /// Non-blocking in-place put; panics on exhausted retries.
+    pub fn put_nb_with<R>(
+        &self,
+        ctx: &Ctx,
+        me: usize,
+        dst: usize,
+        dst_off: usize,
+        words: usize,
+        f: impl FnOnce(&mut [u64]) -> R,
+    ) -> (R, Handle) {
+        self.try_put_nb_with(ctx, me, dst, dst_off, words, f)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Blocking in-place put (`upc_memput` timing, no staging buffer).
+    pub fn put_with<R>(
+        &self,
+        ctx: &Ctx,
+        me: usize,
+        dst: usize,
+        dst_off: usize,
+        words: usize,
+        f: impl FnOnce(&mut [u64]) -> R,
+    ) -> R {
+        let (r, h) = self
+            .try_put_nb_with(ctx, me, dst, dst_off, words, f)
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.wait_sync(ctx, me, h);
+        r
+    }
+
+    /// Fallible blocking get that lets `f` read the source words in place.
+    /// Mirrors [`Gasnet::try_get_nb`] + [`Gasnet::wait_sync`]: the data is
+    /// observed at issue time (exactly when `try_get_nb` copies it out),
+    /// then the caller's virtual time advances to the modeled completion.
+    pub fn try_get_with<R>(
+        &self,
+        ctx: &Ctx,
+        me: usize,
+        src: usize,
+        src_off: usize,
+        words: usize,
+        f: impl FnOnce(&[u64]) -> R,
+    ) -> Result<R, CommError> {
+        let r = self.segments[src].with_range(src_off, words, f);
+        let bytes = words * WORD_BYTES;
+        let h = match self.path(me, src) {
+            AccessPath::Network => {
+                // Request + RDMA read response.
+                let (req_done, data_here) = self.net_get(ctx, "get", me, src, bytes)?;
+                self.make_handle(ctx, me, req_done, data_here)
+            }
+            path => self.charge_local_copy(ctx, me, src, bytes, path),
+        };
+        self.wait_sync(ctx, me, h);
+        Ok(r)
+    }
+
+    /// Blocking in-place get (`upc_memget` timing, no staging buffer).
+    pub fn get_with<R>(
+        &self,
+        ctx: &Ctx,
+        me: usize,
+        src: usize,
+        src_off: usize,
+        words: usize,
+        f: impl FnOnce(&[u64]) -> R,
+    ) -> R {
+        self.try_get_with(ctx, me, src, src_off, words, f)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
     /// Fallible non-blocking memcpy.
     #[allow(clippy::too_many_arguments)]
     pub fn try_memcpy_nb(

@@ -199,13 +199,7 @@ fn triad_once(
     match variant {
         TriadVariant::UpcBaseline | TriadVariant::UpcCast => {
             // Data movement identical; what differs is the software cost.
-            let (bw, cw) = read_neighbor(upc, b, c, twin, n_per);
-            a.with_local_words(upc, |aw| {
-                for k in 0..n_per {
-                    let v = f64::from_bits(bw[k]) + SCALAR * f64::from_bits(cw[k]);
-                    aw[k] = v.to_bits();
-                }
-            });
+            read_neighbor_triad(upc, a, b, c, twin, n_per, false);
             if variant == TriadVariant::UpcBaseline {
                 // 3 shared accesses per element through pointers-to-shared.
                 upc.note_translation(3 * n_per as u64);
@@ -216,33 +210,20 @@ fn triad_once(
         TriadVariant::UpcRelocalize => {
             // Bulk upc_memget into private buffers (charged by the runtime
             // along the PSHM path), then a fully private triad.
-            let mut bw = vec![0u64; n_per];
-            let mut cw = vec![0u64; n_per];
-            upc.memget(twin, b.word_offset(), &mut bw);
-            upc.memget(twin, c.word_offset(), &mut cw);
-            a.with_local_words(upc, |aw| {
-                for k in 0..n_per {
-                    let v = f64::from_bits(bw[k]) + SCALAR * f64::from_bits(cw[k]);
-                    aw[k] = v.to_bits();
-                }
-            });
-            // The private triad still streams 24 B/element locally, and the
-            // freshly allocated bounce buffers are first-touched cold
-            // (another 16 B/element of write traffic) — together this puts
-            // re-localization between the baseline and the cast variant, as
-            // in Table 3.1.
+            read_neighbor_triad(upc, a, b, c, twin, n_per, true);
+            // The modeled program allocates its bounce buffers per iteration:
+            // the private triad streams 24 B/element locally and the
+            // first-touch-cold buffers add another 16 B/element of write
+            // traffic — together placing re-localization between the
+            // baseline and the cast variant, as in Table 3.1. (The host-side
+            // scratch reuse above is a simulator optimization; the charge
+            // models the thesis program, unchanged.)
             upc.note_socket_traffic(my_home, (24 + 16) * n_per as u64);
         }
         TriadVariant::OpenMpAnalog => {
             // Pure shared-memory program: plain loads/stores, no PGAS
             // machinery at all; small per-iteration fork-join cost.
-            let (bw, cw) = read_neighbor(upc, b, c, twin, n_per);
-            a.with_local_words(upc, |aw| {
-                for k in 0..n_per {
-                    let v = f64::from_bits(bw[k]) + SCALAR * f64::from_bits(cw[k]);
-                    aw[k] = v.to_bits();
-                }
-            });
+            read_neighbor_triad(upc, a, b, c, twin, n_per, false);
             upc.note_socket_traffic(twin_home, 16 * n_per as u64);
             upc.note_socket_traffic(my_home, 8 * n_per as u64);
             upc.ctx().advance(time::us(2)); // omp parallel region overhead
@@ -250,20 +231,36 @@ fn triad_once(
     }
 }
 
-/// Copy the neighbour's `b`/`c` words out through the shared-memory window
-/// (data movement only; cost accounting is the caller's).
-fn read_neighbor(
+/// Copy the neighbour's `b`/`c` words into the thread's reusable scratch —
+/// via timed `upc_memget`s when `through_memget` (the re-localization
+/// variant) or through the shared-memory window (cost accounting is the
+/// caller's) — then run the private triad into `a`.
+#[allow(clippy::needless_range_loop)]
+fn read_neighbor_triad(
     upc: &Upc<'_>,
+    a: &SharedArray<f64>,
     b: &SharedArray<f64>,
     c: &SharedArray<f64>,
     twin: usize,
     n_per: usize,
-) -> (Vec<u64>, Vec<u64>) {
-    let mut bw = vec![0u64; n_per];
-    let mut cw = vec![0u64; n_per];
-    b.with_cast_words(upc, twin, |w| bw.copy_from_slice(&w[..n_per]));
-    c.with_cast_words(upc, twin, |w| cw.copy_from_slice(&w[..n_per]));
-    (bw, cw)
+    through_memget: bool,
+) {
+    upc.with_scratch(2 * n_per, |buf| {
+        let (bw, cw) = buf.split_at_mut(n_per);
+        if through_memget {
+            upc.memget(twin, b.word_offset(), bw);
+            upc.memget(twin, c.word_offset(), cw);
+        } else {
+            b.with_cast_words(upc, twin, |w| bw.copy_from_slice(&w[..n_per]));
+            c.with_cast_words(upc, twin, |w| cw.copy_from_slice(&w[..n_per]));
+        }
+        a.with_local_words(upc, |aw| {
+            for k in 0..n_per {
+                let v = f64::from_bits(bw[k]) + SCALAR * f64::from_bits(cw[k]);
+                aw[k] = v.to_bits();
+            }
+        });
+    });
 }
 
 /// Check `a[me] == b[twin] + s·c[twin]` elementwise; returns max |error|.

@@ -74,19 +74,29 @@ impl PgasElem for [f64; 2] {
     }
 }
 
-impl PgasElem for [u64; 2] {
-    const WORDS: usize = 2;
+/// Wide word-array elements (structs larger than a couple of scalars).
+/// The data plane copies straight to/from segment ranges, so element width
+/// is unbounded — these exercise the >4-word case the old fixed bounce
+/// buffers could not hold.
+macro_rules! pgas_u64_array {
+    ($($n:literal),*) => {$(
+        impl PgasElem for [u64; $n] {
+            const WORDS: usize = $n;
 
-    #[inline]
-    fn to_words(self, out: &mut [u64]) {
-        out.copy_from_slice(&self);
-    }
+            #[inline]
+            fn to_words(self, out: &mut [u64]) {
+                out.copy_from_slice(&self);
+            }
 
-    #[inline]
-    fn from_words(words: &[u64]) -> Self {
-        [words[0], words[1]]
-    }
+            #[inline]
+            fn from_words(words: &[u64]) -> Self {
+                words.try_into().expect("exactly WORDS words")
+            }
+        }
+    )*};
 }
+
+pgas_u64_array!(2, 4, 8);
 
 #[cfg(test)]
 mod tests {
@@ -112,6 +122,13 @@ mod tests {
     fn complex_round_trips() {
         round_trip([1.25f64, -3.5f64]);
         round_trip([u64::MAX, 0u64]);
+    }
+
+    #[test]
+    fn wide_arrays_round_trip() {
+        round_trip([1u64, 2, 3, 4]);
+        round_trip([u64::MAX, 0, 7, 9, 11, 13, 15, 17]);
+        assert_eq!(<[u64; 8]>::WORDS, 8);
     }
 
     #[test]

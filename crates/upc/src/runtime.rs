@@ -75,6 +75,10 @@ pub struct UpcRuntime {
     gasnet: Arc<Gasnet>,
     heap_next: SimCell<usize>,
     costs: Vec<SimCell<CostCounters>>,
+    /// Per-thread reusable word buffer for bulk staging ([`Upc::with_scratch`]).
+    /// Grows on demand and never shrinks, so steady-state bulk transfers stop
+    /// allocating.
+    scratch: Vec<SimCell<Vec<u64>>>,
     safety: ThreadSafety,
     serial: MutexId,
     /// Scratch region (word offset 0..SCRATCH_WORDS of every segment)
@@ -136,10 +140,12 @@ impl UpcJob {
         let gasnet = Gasnet::new(&mut sim, cfg.gasnet);
         let serial = sim.kernel().new_mutex();
         let costs = (0..gasnet.n_threads()).map(|_| SimCell::default()).collect();
+        let scratch = (0..gasnet.n_threads()).map(|_| SimCell::default()).collect();
         let rt = Arc::new(UpcRuntime {
             gasnet,
             heap_next: SimCell::new(SCRATCH_WORDS),
             costs,
+            scratch,
             safety: cfg.safety,
             serial,
             scratch_off: 0,
@@ -433,6 +439,81 @@ impl<'a> Upc<'a> {
             .memcpy_nb(self.ctx, self.me, dst, dst_off, src, src_off, len);
         self.safety_release(gate);
         h
+    }
+
+    // ----- zero-copy bulk transfers ------------------------------------------------
+
+    /// `upc_memget` timing with an in-place view: `f` reads the source
+    /// segment words directly — no staging buffer, no per-element decode
+    /// round trip. Charged identically to [`Upc::memget`] of `words` words.
+    /// `f` runs under the source segment's borrow: it must not issue UPC
+    /// calls or touch that segment again.
+    pub fn memget_with<R>(
+        &self,
+        src: usize,
+        src_off: usize,
+        words: usize,
+        f: impl FnOnce(&[u64]) -> R,
+    ) -> R {
+        let gate = self.safety_gate();
+        let r = self
+            .rt
+            .gasnet()
+            .get_with(self.ctx, self.me, src, src_off, words, f);
+        self.safety_release(gate);
+        r
+    }
+
+    /// `upc_memput` timing with an in-place view: `f` writes the destination
+    /// segment words directly. Charged identically to [`Upc::memput`] of
+    /// `words` words. Same closure restrictions as [`Upc::memget_with`].
+    pub fn memput_with<R>(
+        &self,
+        dst: usize,
+        dst_off: usize,
+        words: usize,
+        f: impl FnOnce(&mut [u64]) -> R,
+    ) -> R {
+        let gate = self.safety_gate();
+        let r = self
+            .rt
+            .gasnet()
+            .put_with(self.ctx, self.me, dst, dst_off, words, f);
+        self.safety_release(gate);
+        r
+    }
+
+    /// `bupc_memput_async` timing with an in-place view (the closure runs at
+    /// issue time, like `memput_nb` moving bytes eagerly).
+    pub fn memput_nb_with<R>(
+        &self,
+        dst: usize,
+        dst_off: usize,
+        words: usize,
+        f: impl FnOnce(&mut [u64]) -> R,
+    ) -> (R, Handle) {
+        let gate = self.safety_gate();
+        let r = self
+            .rt
+            .gasnet()
+            .put_nb_with(self.ctx, self.me, dst, dst_off, words, f);
+        self.safety_release(gate);
+        r
+    }
+
+    /// Run `f` with this thread's reusable scratch buffer sized to `words`
+    /// words. The buffer's contents are unspecified on entry (it is reused
+    /// across calls, grow-only); callers must overwrite what they read.
+    /// UPC calls are allowed inside `f` (the scratch is a private per-thread
+    /// cell, not a segment), but nested `with_scratch` on the same thread —
+    /// including from a sub-thread view of the same UPC thread — is not.
+    pub fn with_scratch<R>(&self, words: usize, f: impl FnOnce(&mut [u64]) -> R) -> R {
+        self.rt.scratch[self.me].with_mut(|buf| {
+            if buf.len() < words {
+                buf.resize(words, 0);
+            }
+            f(&mut buf[..words])
+        })
     }
 
     // ----- compute charging -------------------------------------------------------

@@ -105,6 +105,8 @@ impl<T: PgasElem> SharedArray<T> {
     // ----- fine-grained access (deferred costs) ------------------------------
 
     /// `T v = a[i]` — a shared read through a pointer-to-shared.
+    /// Decodes straight from the owner's segment, so any `T::WORDS` works
+    /// (no fixed-size bounce buffer).
     pub fn get(&self, upc: &Upc<'_>, i: usize) -> T {
         let o = self.owner(i);
         let w = self.word_of(i);
@@ -113,18 +115,10 @@ impl<T: PgasElem> SharedArray<T> {
             AccessPath::Local | AccessPath::SameProcess | AccessPath::Pshm => {
                 upc.note_translation(1);
                 upc.note_socket_traffic(upc.segment_home(o), (T::WORDS * WORD_BYTES) as u64);
-                let mut buf = [0u64; 4];
-                let buf = &mut buf[..T::WORDS];
-                upc.gasnet().segment(o).read(w, buf);
-                T::from_words(buf)
+                upc.gasnet().segment(o).with_range(w, T::WORDS, T::from_words)
             }
-            _ => {
-                // Fine-grained remote access: full message cost, immediately.
-                let mut buf = [0u64; 4];
-                let buf = &mut buf[..T::WORDS];
-                upc.memget(o, w, buf);
-                T::from_words(buf)
-            }
+            // Fine-grained remote access: full message cost, immediately.
+            _ => upc.memget_with(o, w, T::WORDS, T::from_words),
         }
     }
 
@@ -133,34 +127,31 @@ impl<T: PgasElem> SharedArray<T> {
         let o = self.owner(i);
         let w = self.word_of(i);
         let me = upc.mythread();
-        let mut buf = [0u64; 4];
-        let buf = &mut buf[..T::WORDS];
-        v.to_words(buf);
         match upc.gasnet().path(me, o) {
             AccessPath::Local | AccessPath::SameProcess | AccessPath::Pshm => {
                 upc.note_translation(1);
                 upc.note_socket_traffic(upc.segment_home(o), (T::WORDS * WORD_BYTES) as u64);
-                upc.gasnet().segment(o).write(w, buf);
+                upc.gasnet()
+                    .segment(o)
+                    .with_range_mut(w, T::WORDS, |words| v.to_words(words));
             }
-            _ => upc.memput(o, w, buf),
+            _ => upc.memput_with(o, w, T::WORDS, |words| v.to_words(words)),
         }
     }
 
     /// Initialize element `i` without charging model time (program setup,
     /// like static initializers that the benchmarks don't time).
     pub fn poke(&self, upc: &Upc<'_>, i: usize, v: T) {
-        let mut buf = [0u64; 4];
-        let buf = &mut buf[..T::WORDS];
-        v.to_words(buf);
-        upc.gasnet().segment(self.owner(i)).write(self.word_of(i), buf);
+        upc.gasnet()
+            .segment(self.owner(i))
+            .with_range_mut(self.word_of(i), T::WORDS, |words| v.to_words(words));
     }
 
     /// Read element `i` without charging model time (verification).
     pub fn peek(&self, upc: &Upc<'_>, i: usize) -> T {
-        let mut buf = [0u64; 4];
-        let buf = &mut buf[..T::WORDS];
-        upc.gasnet().segment(self.owner(i)).read(self.word_of(i), buf);
-        T::from_words(buf)
+        upc.gasnet()
+            .segment(self.owner(i))
+            .with_range(self.word_of(i), T::WORDS, T::from_words)
     }
 
     // ----- privatized / bulk access --------------------------------------------
@@ -196,29 +187,70 @@ impl<T: PgasElem> SharedArray<T> {
 
     /// Bulk-read `count` elements starting at global index `i` (which must
     /// lie within one owner's block range) via `upc_memget`.
+    ///
+    /// Delegates to [`SharedArray::memget_elems_into`]; prefer that variant
+    /// in loops so the output allocation is reused too.
     pub fn memget_elems(&self, upc: &Upc<'_>, i: usize, count: usize) -> Vec<T> {
+        let mut out = Vec::new();
+        self.memget_elems_into(upc, i, count, &mut out);
+        out
+    }
+
+    /// Bulk-read `count` elements starting at global index `i` (single-owner
+    /// range) into `out`, which is cleared first. Decodes straight from the
+    /// source segment — no intermediate word buffer — and charges exactly as
+    /// a `upc_memget` of `count * T::WORDS` words.
+    pub fn memget_elems_into(&self, upc: &Upc<'_>, i: usize, count: usize, out: &mut Vec<T>) {
         let o = self.owner(i);
         debug_assert!(
             count <= self.block - i % self.block || self.block >= self.n,
             "memget_elems range crosses a block boundary"
         );
-        let mut words = vec![0u64; count * T::WORDS];
-        upc.memget(o, self.word_of(i), &mut words);
-        words
-            .chunks_exact(T::WORDS)
-            .map(T::from_words)
-            .collect()
+        out.clear();
+        out.reserve(count);
+        upc.memget_with(o, self.word_of(i), count * T::WORDS, |words| {
+            out.extend(words.chunks_exact(T::WORDS).map(T::from_words));
+        });
     }
 
     /// Bulk-write elements starting at global index `i` (single-owner range)
-    /// via `upc_memput`.
+    /// via `upc_memput`. Delegates to [`SharedArray::memput_elems_from`].
     pub fn memput_elems(&self, upc: &Upc<'_>, i: usize, vals: &[T]) {
+        self.memput_elems_from(upc, i, vals);
+    }
+
+    /// Bulk-write `vals` starting at global index `i` (single-owner range),
+    /// encoding straight into the destination segment — no intermediate word
+    /// buffer — and charging exactly as a `upc_memput` of
+    /// `vals.len() * T::WORDS` words.
+    pub fn memput_elems_from(&self, upc: &Upc<'_>, i: usize, vals: &[T]) {
         let o = self.owner(i);
-        let mut words = vec![0u64; vals.len() * T::WORDS];
-        for (v, chunk) in vals.iter().zip(words.chunks_exact_mut(T::WORDS)) {
-            v.to_words(chunk);
-        }
-        upc.memput(o, self.word_of(i), &words);
+        upc.memput_with(o, self.word_of(i), vals.len() * T::WORDS, |words| {
+            for (v, chunk) in vals.iter().zip(words.chunks_exact_mut(T::WORDS)) {
+                v.to_words(chunk);
+            }
+        });
+    }
+
+    /// Scoped read-only word view of `count` elements starting at global
+    /// index `i` (single-owner range), charged as the equivalent
+    /// `upc_memget`. The zero-copy dual of [`SharedArray::memget_elems_into`]
+    /// for callers that consume words directly (e.g. unpack kernels). The
+    /// closure runs under the owner segment's borrow: no UPC calls, no other
+    /// access to that segment inside it.
+    pub fn with_remote_range<R>(
+        &self,
+        upc: &Upc<'_>,
+        i: usize,
+        count: usize,
+        f: impl FnOnce(&[u64]) -> R,
+    ) -> R {
+        let o = self.owner(i);
+        debug_assert!(
+            count <= self.block - i % self.block || self.block >= self.n,
+            "with_remote_range crosses a block boundary"
+        );
+        upc.memget_with(o, self.word_of(i), count * T::WORDS, f)
     }
 }
 
@@ -235,6 +267,7 @@ impl<T> std::fmt::Debug for SharedArray<T> {
 
 #[cfg(test)]
 mod tests {
+    use crate::elem::PgasElem;
     use crate::runtime::{UpcConfig, UpcJob};
 
     #[test]
@@ -325,6 +358,86 @@ mod tests {
                 assert_eq!(v, vec![[1.0, 2.0], [3.0, 4.0]]);
             }
         });
+    }
+
+    #[test]
+    fn wide_elements_round_trip_spmd() {
+        // >4 words per element: the old fixed `[0u64; 4]` bounce buffers
+        // would have truncated (or panicked on) these. 2 nodes so both the
+        // shared-memory and network paths are exercised.
+        let job = UpcJob::new(UpcConfig::test_default(4, 2));
+        let a = job.alloc_shared::<[u64; 8]>(16, 2);
+        job.run(move |upc| {
+            let me = upc.mythread();
+            for i in a.indices_with_affinity(me) {
+                a.put(&upc, i, std::array::from_fn(|k| (i * 10 + k) as u64));
+            }
+            upc.barrier();
+            for i in 0..16 {
+                let want: [u64; 8] = std::array::from_fn(|k| (i * 10 + k) as u64);
+                assert_eq!(a.get(&upc, i), want, "a[{i}]");
+            }
+            // bulk path too
+            if me == 0 {
+                let mut got = Vec::new();
+                a.memget_elems_into(&upc, 2, 2, &mut got);
+                assert_eq!(got[0][7], 27);
+                assert_eq!(got[1][0], 30);
+            }
+        });
+    }
+
+    #[test]
+    fn bulk_into_matches_byval_values_and_virtual_time() {
+        // The zero-copy bulk path must be observationally identical to the
+        // historical Vec-of-words round trip: same values AND the same
+        // charged virtual time, end to end. Pin both across a network hop.
+        fn run(zero_copy: bool) -> (u64, Vec<[f64; 2]>) {
+            let job = UpcJob::new(UpcConfig::test_default(2, 2)); // network path
+            let a = job.alloc_shared::<[f64; 2]>(32, 16);
+            let (stats, vals) = job.run_collecting(move |upc| {
+                let me = upc.mythread();
+                for i in a.indices_with_affinity(me) {
+                    a.poke(&upc, i, [i as f64, -(i as f64)]);
+                }
+                upc.barrier();
+                if me != 0 {
+                    upc.barrier();
+                    return None;
+                }
+                let got = if zero_copy {
+                    let mut out = Vec::new();
+                    for _ in 0..4 {
+                        a.memget_elems_into(&upc, 16, 16, &mut out);
+                    }
+                    a.memput_elems_from(&upc, 16, &out);
+                    out
+                } else {
+                    // The pre-zero-copy implementation, inlined: explicit
+                    // word staging through memget/memput.
+                    let mut out = Vec::new();
+                    for _ in 0..4 {
+                        let mut words = vec![0u64; 32];
+                        upc.memget(1, a.word_of(16), &mut words);
+                        out = words.chunks_exact(2).map(<[f64; 2]>::from_words).collect();
+                    }
+                    let mut words = vec![0u64; 32];
+                    for (v, chunk) in out.iter().zip(words.chunks_exact_mut(2)) {
+                        v.to_words(chunk);
+                    }
+                    upc.memput(1, a.word_of(16), &words);
+                    out
+                };
+                upc.barrier();
+                Some(got)
+            });
+            (stats.end_time, vals)
+        }
+        let (t_old, v_old) = run(false);
+        let (t_new, v_new) = run(true);
+        assert_eq!(v_old, v_new, "bulk values diverged");
+        assert_eq!(t_old, t_new, "zero-copy bulk path changed virtual time");
+        assert_eq!(v_old[15], [31.0, -31.0]);
     }
 
     #[test]

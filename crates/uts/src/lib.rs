@@ -20,7 +20,7 @@ mod stealstack;
 mod tree;
 mod worker;
 
-pub use sha1::{sha1, sha1_child, Digest};
+pub use sha1::{sha1, sha1_child, sha1_children, ChildHasher, Digest};
 pub use stealstack::StealStacks;
 pub use tree::{sequential_traverse, Node, TreeParams};
 pub use worker::{run_uts, StealStrategy, UtsConfig, UtsResult};

@@ -8,7 +8,7 @@
 //!   and Table 3.2 use (≈4.1 million nodes).
 //! * **Geometric** — branching factor drawn geometrically, bounded depth.
 
-use crate::sha1::{sha1, sha1_child, unit_interval, Digest};
+use crate::sha1::{sha1, sha1_children, unit_interval, Digest};
 
 /// Tree shape parameters.
 #[derive(Clone, Debug, PartialEq)]
@@ -106,17 +106,17 @@ impl TreeParams {
         }
     }
 
-    /// Generate the children of `node` into `out` (cleared first).
+    /// Generate the children of `node` into `out` (cleared first). Interior
+    /// expansion runs the batched hasher: one message template + round
+    /// prefix per parent instead of a full `sha1` per child.
     pub fn children(&self, node: &Node, out: &mut Vec<Node>) {
         out.clear();
         let n = self.num_children(node);
         out.reserve(n as usize);
-        for i in 0..n {
-            out.push(Node {
-                digest: sha1_child(&node.digest, i),
-                depth: node.depth + 1,
-            });
-        }
+        let depth = node.depth + 1;
+        sha1_children(&node.digest, 0..n, |_, digest| {
+            out.push(Node { digest, depth });
+        });
     }
 }
 

@@ -221,3 +221,106 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 }
+
+// ----- zero-copy data plane + batched host kernels ---------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Batched child derivation (shared template, precomputed prefix, SIMD
+    /// lane groups) is bit-identical to scalar `sha1_child` for arbitrary
+    /// parents and index ranges, including ranges near `u32::MAX`.
+    #[test]
+    fn sha1_children_match_scalar(
+        parent in prop::array::uniform20(any::<u8>()),
+        start_lo in 0u32..1000,
+        near_max in any::<bool>(),
+        len in 0u32..40,
+    ) {
+        use hupc::uts::{sha1_child, sha1_children};
+        let start = if near_max { u32::MAX - 50 + start_lo % 50 } else { start_lo };
+        let end = start.saturating_add(len);
+        let mut got = Vec::new();
+        sha1_children(&parent, start..end, |i, d| got.push((i, d)));
+        prop_assert_eq!(got.len() as u32, end - start);
+        for (i, d) in got {
+            prop_assert_eq!(d, sha1_child(&parent, i));
+        }
+    }
+
+    /// The fused radix-4 sweep of `transform` produces bit-identical output
+    /// to the plain radix-2 reference for every size and direction.
+    #[test]
+    fn radix4_bit_identical_to_radix2(
+        log_n in 0u32..12,
+        seed in any::<u64>(),
+        inverse in any::<bool>(),
+    ) {
+        let n = 1usize << log_n;
+        let plan = FftPlan::new(n);
+        let mut s = seed | 1;
+        let sig: Vec<Complex> = (0..n).map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let re = ((s >> 33) as f64) / (1u64 << 31) as f64 - 1.0;
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let im = ((s >> 33) as f64) / (1u64 << 31) as f64 - 1.0;
+            Complex::new(re, im)
+        }).collect();
+        let dir = if inverse { Direction::Inverse } else { Direction::Forward };
+        let mut a = sig.clone();
+        plan.transform(&mut a, dir);
+        let mut b = sig;
+        plan.transform_radix2(&mut b, dir);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.re.to_bits(), y.re.to_bits());
+            prop_assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The zero-copy bulk get (`memget_elems` via `memget_elems_into`)
+    /// returns the same values AND charges the same virtual time as the
+    /// historical staged path (fresh word buffer + per-element decode) it
+    /// replaced.
+    #[test]
+    fn bulk_get_zero_copy_preserves_values_and_time(
+        half_threads in 1usize..3,
+        count in 1usize..80,
+        seed in any::<u64>(),
+    ) {
+        use std::sync::Arc;
+        fn run(threads: usize, count: usize, seed: u64, zero_copy: bool) -> (Time, Vec<[u64; 2]>) {
+            let job = UpcJob::new(UpcConfig::test_default(threads, 2)); // network path
+            let a = job.alloc_shared::<[u64; 2]>(threads * count, count);
+            let out: Arc<SimCell<Vec<[u64; 2]>>> = Arc::new(SimCell::default());
+            let out2 = Arc::clone(&out);
+            let stats = job.run(move |upc| {
+                let me = upc.mythread();
+                for i in a.indices_with_affinity(me) {
+                    a.poke(&upc, i, [seed ^ i as u64, i as u64]);
+                }
+                upc.barrier();
+                if me == 0 {
+                    let src = upc.threads() - 1;
+                    let vals = if zero_copy {
+                        a.memget_elems(&upc, src * count, count)
+                    } else {
+                        let mut words = vec![0u64; count * 2];
+                        upc.memget(src, a.word_of(src * count), &mut words);
+                        words.chunks_exact(2).map(<[u64; 2]>::from_words).collect()
+                    };
+                    out2.with_mut(|o| *o = vals);
+                }
+                upc.barrier();
+            });
+            (stats.end_time, Arc::try_unwrap(out).expect("still shared").into_inner())
+        }
+        let threads = 2 * half_threads;
+        let staged = run(threads, count, seed, false);
+        let zero = run(threads, count, seed, true);
+        prop_assert_eq!(staged, zero);
+    }
+}
