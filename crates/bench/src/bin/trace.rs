@@ -1,0 +1,8 @@
+//! Trace capture: small UTS / FT / GUPS runs under the full tracer,
+//! dumping JSONL + chrome://tracing + metrics artifacts.
+
+fn main() {
+    let args = hupc_bench::parse_args();
+    let tables = hupc_bench::exp::trace::run(args.quick);
+    hupc_bench::report::emit(&args, &tables);
+}

@@ -64,6 +64,8 @@ pub use hupc_topo as topo;
 pub use hupc_upc as upc;
 pub use hupc_uts as uts;
 pub use hupc_gups as gups;
+#[cfg(feature = "trace")]
+pub use hupc_trace as trace;
 
 /// The names almost every program needs.
 pub mod prelude {

@@ -333,4 +333,90 @@ mod tests {
         assert_eq!(p.cpu_slowdown(2), 3.0);
         assert_eq!(p.cpu_slowdown(0), 1.0);
     }
+
+    #[test]
+    fn empty_window_is_never_open() {
+        // from == until: the half-open interval [t, t) contains nothing.
+        let p = FaultPlan::new(0).degraded_nic(0, time::us(10), time::us(10), 5.0);
+        for t in [0, time::us(9), time::us(10), time::us(11)] {
+            assert_eq!(p.nic_factor(0, t), 1.0);
+        }
+    }
+
+    #[test]
+    fn windows_are_per_node() {
+        let p = FaultPlan::new(0)
+            .degraded_nic(0, 0, time::ms(1), 2.0)
+            .degraded_nic(1, 0, time::ms(1), 3.0);
+        assert_eq!(p.nic_factor(0, time::us(1)), 2.0);
+        assert_eq!(p.nic_factor(1, time::us(1)), 3.0);
+        assert_eq!(p.nic_factor(2, time::us(1)), 1.0);
+    }
+
+    #[test]
+    fn disjoint_windows_do_not_leak() {
+        let p = FaultPlan::new(0)
+            .degraded_nic(0, time::us(0), time::us(10), 2.0)
+            .degraded_nic(0, time::us(20), time::us(30), 4.0);
+        assert_eq!(p.nic_factor(0, time::us(5)), 2.0);
+        assert_eq!(p.nic_factor(0, time::us(15)), 1.0); // gap
+        assert_eq!(p.nic_factor(0, time::us(25)), 4.0);
+    }
+
+    /// Changing the loss probability must not shift the jitter stream:
+    /// `xmit` always draws exactly two PRNG values, so unrelated fault
+    /// parameters stay statistically independent and runs stay comparable
+    /// across plan edits.
+    #[test]
+    fn loss_probability_does_not_shift_jitter_stream() {
+        let j = Jitter::Uniform { max: time::us(20) };
+        let lossless = FaultInjector::new(FaultPlan::new(77).jitter(j));
+        let lossy = FaultInjector::new(FaultPlan::new(77).loss(0.9).jitter(j));
+        for _ in 0..1000 {
+            assert_eq!(lossless.xmit(0, 1).jitter, lossy.xmit(0, 1).jitter);
+        }
+    }
+
+    /// Same for link overrides: adding an override on one link must not
+    /// perturb the drop decisions observed on another.
+    #[test]
+    fn link_override_does_not_shift_other_links() {
+        let base = FaultInjector::new(FaultPlan::new(5).loss(0.5));
+        let with_override = FaultInjector::new(FaultPlan::new(5).loss(0.5).link_loss(8, 9, 1.0));
+        for _ in 0..1000 {
+            assert_eq!(base.xmit(0, 1).dropped, with_override.xmit(0, 1).dropped);
+        }
+    }
+
+    #[test]
+    fn exp_jitter_same_seed_is_deterministic() {
+        let mk = || {
+            FaultInjector::new(FaultPlan::new(13).jitter(Jitter::Exp {
+                mean: time::us(4),
+                cap: time::us(64),
+            }))
+        };
+        let (a, b) = (mk(), mk());
+        let mut nonzero = 0;
+        for _ in 0..1000 {
+            let (xa, xb) = (a.xmit(1, 0), b.xmit(1, 0));
+            assert_eq!(xa, xb);
+            nonzero += (xa.jitter > 0) as u32;
+        }
+        assert!(nonzero > 900, "exp jitter almost always positive, saw {nonzero}");
+    }
+
+    #[test]
+    fn is_identity_tracks_every_knob() {
+        assert!(FaultPlan::new(9).is_identity());
+        assert!(FaultPlan::new(9).loss(0.0).is_identity());
+        assert!(FaultPlan::new(9).link_loss(0, 1, 0.0).is_identity());
+        assert!(!FaultPlan::new(9).loss(0.1).is_identity());
+        assert!(!FaultPlan::new(9).link_loss(0, 1, 0.2).is_identity());
+        assert!(!FaultPlan::new(9)
+            .jitter(Jitter::Uniform { max: time::ns(1) })
+            .is_identity());
+        assert!(!FaultPlan::new(9).degraded_nic(0, 0, 1, 1.5).is_identity());
+        assert!(!FaultPlan::new(9).straggler(0, 2.0).is_identity());
+    }
 }

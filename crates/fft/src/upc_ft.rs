@@ -286,11 +286,24 @@ fn run_fft2d(
     ph: &mut Phases,
 ) {
     let t0 = upc.now();
+    #[cfg(feature = "trace")]
+    upc.ctx().trace_emit(
+        hupc_trace::EventKind::SpanBegin,
+        hupc_trace::span::FT_COMPUTE,
+        l.nzp as u64,
+    );
     if let Some(d) = data {
         data_fft2d(d, l, dir);
     }
     charge_planes(upc, pool, l.nzp, charges.plane2d);
-    ph.fft2d += upc.now() - t0;
+    let dt = upc.now() - t0;
+    #[cfg(feature = "trace")]
+    {
+        upc.ctx()
+            .trace_emit(hupc_trace::EventKind::SpanEnd, hupc_trace::span::FT_COMPUTE, dt);
+        upc.trace_observe("ft.compute_ns", dt);
+    }
+    ph.fft2d += dt;
 }
 
 fn run_fftz(
@@ -303,11 +316,24 @@ fn run_fftz(
     ph: &mut Phases,
 ) {
     let t0 = upc.now();
+    #[cfg(feature = "trace")]
+    upc.ctx().trace_emit(
+        hupc_trace::EventKind::SpanBegin,
+        hupc_trace::span::FT_COMPUTE,
+        l.nyp as u64,
+    );
     if let Some(d) = data {
         data_fftz(d, l, dir);
     }
     charge_planes(upc, pool, l.nyp, charges.planez);
-    ph.fft1d += upc.now() - t0;
+    let dt = upc.now() - t0;
+    #[cfg(feature = "trace")]
+    {
+        upc.ctx()
+            .trace_emit(hupc_trace::EventKind::SpanEnd, hupc_trace::span::FT_COMPUTE, dt);
+        upc.trace_observe("ft.compute_ns", dt);
+    }
+    ph.fft1d += dt;
 }
 
 fn run_evolve(
@@ -320,11 +346,21 @@ fn run_evolve(
     ph: &mut Phases,
 ) {
     let t0 = upc.now();
+    #[cfg(feature = "trace")]
+    upc.ctx().trace_emit(
+        hupc_trace::EventKind::SpanBegin,
+        hupc_trace::span::FT_EVOLVE,
+        t as u64,
+    );
     if let Some(d) = data {
         data_evolve(d, l, me, t);
     }
     charge_sweep(upc, pool, l.chunk as f64 * 32.0);
-    ph.evolve += upc.now() - t0;
+    let dt = upc.now() - t0;
+    #[cfg(feature = "trace")]
+    upc.ctx()
+        .trace_emit(hupc_trace::EventKind::SpanEnd, hupc_trace::span::FT_EVOLVE, dt);
+    ph.evolve += dt;
 }
 
 /// The global exchange: pack per-destination blocks, put them, drain.
@@ -344,6 +380,12 @@ fn run_exchange(
     let planes = if forward { l.nzp } else { l.nyp };
     let sub_elems = l.slot / planes;
     let t0 = upc.now();
+    #[cfg(feature = "trace")]
+    upc.ctx().trace_emit(
+        hupc_trace::EventKind::SpanBegin,
+        hupc_trace::span::FT_EXCHANGE,
+        forward as u64,
+    );
     let data = data.map(|d| &*d);
 
     let mut handles: Vec<Handle> = Vec::new();
@@ -380,7 +422,14 @@ fn run_exchange(
         upc.wait_sync(h);
     }
     upc.barrier();
-    ph.comm += upc.now() - t0;
+    let dt = upc.now() - t0;
+    #[cfg(feature = "trace")]
+    {
+        upc.ctx()
+            .trace_emit(hupc_trace::EventKind::SpanEnd, hupc_trace::span::FT_EXCHANGE, dt);
+        upc.trace_observe("ft.exchange_ns", dt);
+    }
+    ph.comm += dt;
 }
 
 /// Put one plane's sub-block for `dest`; returns a handle for nb puts.

@@ -12,6 +12,18 @@ use crate::backend::{AccessPath, Backend};
 use crate::error::{CommError, RetryPolicy};
 use crate::segment::{Segment, WORD_BYTES};
 
+/// Stable payload code for an access path in trace events.
+#[cfg(feature = "trace")]
+fn path_code(p: AccessPath) -> u64 {
+    match p {
+        AccessPath::Local => 0,
+        AccessPath::SameProcess => 1,
+        AccessPath::Pshm => 2,
+        AccessPath::Loopback => 3,
+        AccessPath::Network => 4,
+    }
+}
+
 /// Software overhead constants of the runtime (ns-scale knobs the thesis'
 /// Chapter 3 results turn on).
 #[derive(Clone, Copy, Debug)]
@@ -367,11 +379,19 @@ impl Gasnet {
 
     // ----- one-sided communication --------------------------------------------
 
+    /// Trace location of a UPC thread (node + thread).
+    #[cfg(feature = "trace")]
+    fn tloc(&self, t: usize) -> hupc_trace::Loc {
+        hupc_trace::Loc::new(self.thread_node(t).0 as u32, t as u32)
+    }
+
     /// Advance past the failed attempt's injection, then sit out the ack
     /// timeout before retransmitting.
     fn await_retry(&self, ctx: &Ctx, local: Time, attempt: u32) {
         let now = ctx.now();
         let resume = local.max(now) + self.retry.backoff_after(attempt);
+        #[cfg(feature = "trace")]
+        ctx.trace_emit(hupc_trace::EventKind::Backoff, resume - now, attempt as u64);
         // Lazy: the backoff coalesces with the next attempt's send overhead
         // into a single advance at the retransmission's kernel interaction.
         ctx.advance_lazy(resume - now);
@@ -414,7 +434,14 @@ impl Gasnet {
                 .expect("placement guarantees valid inter-node addressing");
             match d {
                 Delivery::Delivered { local, remote } => return Ok((local, remote)),
-                Delivery::Dropped { local } => self.await_retry(ctx, local, attempt),
+                Delivery::Dropped { local } => {
+                    #[cfg(feature = "trace")]
+                    {
+                        ctx.trace_emit(hupc_trace::EventKind::Retry, attempt as u64, bytes as u64);
+                        ctx.trace_count("gasnet.retries", self.tloc(me), 1);
+                    }
+                    self.await_retry(ctx, local, attempt)
+                }
             }
         }
         Err(self.retries_exhausted(op, me, dst, bytes))
@@ -438,7 +465,14 @@ impl Gasnet {
                 .expect("placement guarantees valid inter-node addressing");
             match d {
                 Delivery::Delivered { local, remote } => return Ok((local, remote)),
-                Delivery::Dropped { local } => self.await_retry(ctx, local, attempt),
+                Delivery::Dropped { local } => {
+                    #[cfg(feature = "trace")]
+                    {
+                        ctx.trace_emit(hupc_trace::EventKind::Retry, attempt as u64, bytes as u64);
+                        ctx.trace_count("gasnet.retries", self.tloc(me), 1);
+                    }
+                    self.await_retry(ctx, local, attempt)
+                }
             }
         }
         Err(self.retries_exhausted(op, me, src, bytes))
@@ -506,14 +540,7 @@ impl Gasnet {
     ) -> Result<Handle, CommError> {
         self.segments[src].read(src_off, out);
         let bytes = out.len() * WORD_BYTES;
-        match self.path(me, src) {
-            AccessPath::Network => {
-                // Request + RDMA read response.
-                let (req_done, data_here) = self.net_get(ctx, "get", me, src, bytes)?;
-                Ok(self.make_handle(ctx, me, req_done, data_here))
-            }
-            path => Ok(self.charge_local_copy(ctx, me, src, bytes, path)),
-        }
+        self.charge_get(ctx, "get", me, src, bytes)
     }
 
     /// Non-blocking get from `src`'s segment at `src_off` into `out`.
@@ -622,15 +649,7 @@ impl Gasnet {
         f: impl FnOnce(&[u64]) -> R,
     ) -> Result<R, CommError> {
         let r = self.segments[src].with_range(src_off, words, f);
-        let bytes = words * WORD_BYTES;
-        let h = match self.path(me, src) {
-            AccessPath::Network => {
-                // Request + RDMA read response.
-                let (req_done, data_here) = self.net_get(ctx, "get", me, src, bytes)?;
-                self.make_handle(ctx, me, req_done, data_here)
-            }
-            path => self.charge_local_copy(ctx, me, src, bytes, path),
-        };
+        let h = self.charge_get(ctx, "get", me, src, words * WORD_BYTES)?;
         self.wait_sync(ctx, me, h);
         Ok(r)
     }
@@ -669,8 +688,7 @@ impl Gasnet {
         if dst_path == AccessPath::Network {
             self.charge_transfer(ctx, "memcpy", me, dst, bytes)
         } else if src_path == AccessPath::Network {
-            let (a, b) = self.net_get(ctx, "memcpy", me, src, bytes)?;
-            Ok(self.make_handle(ctx, me, a, b))
+            self.charge_get(ctx, "memcpy", me, src, bytes)
         } else {
             let worst = src_path.max(dst_path);
             Ok(self.charge_local_copy(ctx, me, dst, bytes, worst))
@@ -757,13 +775,54 @@ impl Gasnet {
         dst: usize,
         bytes: usize,
     ) -> Result<Handle, CommError> {
-        match self.path(me, dst) {
+        let path = self.path(me, dst);
+        #[cfg(feature = "trace")]
+        {
+            ctx.trace_emit(hupc_trace::EventKind::PutIssue, dst as u64, bytes as u64);
+            ctx.trace_count("gasnet.puts", self.tloc(me), 1);
+            ctx.trace_count("gasnet.put_bytes", self.tloc(me), bytes as u64);
+        }
+        let h = match path {
             AccessPath::Network => {
                 let (local_t, remote_t) = self.net_send(ctx, op, me, dst, bytes)?;
-                Ok(self.make_handle(ctx, me, local_t, remote_t))
+                self.make_handle(ctx, me, local_t, remote_t)
             }
-            path => Ok(self.charge_local_copy(ctx, me, dst, bytes, path)),
+            path => self.charge_local_copy(ctx, me, dst, bytes, path),
+        };
+        #[cfg(feature = "trace")]
+        ctx.trace_emit(hupc_trace::EventKind::PutCharge, bytes as u64, path_code(path));
+        Ok(h)
+    }
+
+    /// Charge the cost of reading `bytes` from `src` into `me` and build a
+    /// handle (data already observed by the caller). Shared by the buffer,
+    /// zero-copy and memcpy get paths.
+    fn charge_get(
+        &self,
+        ctx: &Ctx,
+        op: &'static str,
+        me: usize,
+        src: usize,
+        bytes: usize,
+    ) -> Result<Handle, CommError> {
+        let path = self.path(me, src);
+        #[cfg(feature = "trace")]
+        {
+            ctx.trace_emit(hupc_trace::EventKind::GetIssue, src as u64, bytes as u64);
+            ctx.trace_count("gasnet.gets", self.tloc(me), 1);
+            ctx.trace_count("gasnet.get_bytes", self.tloc(me), bytes as u64);
         }
+        let h = match path {
+            AccessPath::Network => {
+                // Request + RDMA read response.
+                let (req_done, data_here) = self.net_get(ctx, op, me, src, bytes)?;
+                self.make_handle(ctx, me, req_done, data_here)
+            }
+            path => self.charge_local_copy(ctx, me, src, bytes, path),
+        };
+        #[cfg(feature = "trace")]
+        ctx.trace_emit(hupc_trace::EventKind::GetCharge, bytes as u64, path_code(path));
+        Ok(h)
     }
 
     /// Intra-node copy charge along `path`; returns the handle.
@@ -859,7 +918,12 @@ impl Gasnet {
     /// cannot be "partially" passed.
     pub fn try_barrier(&self, ctx: &Ctx, me: usize) -> Result<(), CommError> {
         self.quiesce(ctx, me);
-        match self.barrier_timeout {
+        #[cfg(feature = "trace")]
+        {
+            ctx.trace_emit(hupc_trace::EventKind::BarrierEnter, self.barrier_cost(), 0);
+            ctx.trace_count("gasnet.barriers", self.tloc(me), 1);
+        }
+        let r = match self.barrier_timeout {
             None => {
                 ctx.barrier_wait_cost(self.barrier_all, self.barrier_cost());
                 Ok(())
@@ -867,7 +931,12 @@ impl Gasnet {
             Some(timeout) => ctx
                 .barrier_wait_timeout_cost(self.barrier_all, self.barrier_cost(), timeout)
                 .map_err(|_| CommError::BarrierTimeout { thread: me, timeout }),
+        };
+        #[cfg(feature = "trace")]
+        if r.is_ok() {
+            ctx.trace_emit(hupc_trace::EventKind::BarrierExit, 0, 0);
         }
+        r
     }
 
     /// Full-job barrier (`upc_barrier`): drains outstanding ops, then a
@@ -887,6 +956,8 @@ impl Gasnet {
             *n = true;
         });
         self.quiesce(ctx, me);
+        #[cfg(feature = "trace")]
+        ctx.trace_emit(hupc_trace::EventKind::BarrierNotify, 0, 0);
         // Initiation cost; lazy — folded into the arrival interaction below.
         ctx.advance_lazy(self.overheads.barrier_stage);
         self.split_target[me].with_mut(|t| *t = self.split_gen.get() + 1);
@@ -915,6 +986,8 @@ impl Gasnet {
         }
         self.split_notified[me].set(false);
         ctx.advance(self.barrier_cost()); // release propagation
+        #[cfg(feature = "trace")]
+        ctx.trace_emit(hupc_trace::EventKind::BarrierWait, 0, 0);
     }
 
     /// Modeled release cost of the all-threads barrier.
@@ -1351,5 +1424,40 @@ mod tests {
         // Node 1 (threads 2,3) computes 3× slower; the barrier waits for it.
         let straggling = run(Some(FaultPlan::new(0).straggler(1, 3.0)));
         assert!(straggling > healthy, "{straggling} <= {healthy}");
+    }
+
+    /// The straggler stretch, exactly: only threads on the straggling node
+    /// pay the factor, and they pay precisely `work × factor` through the
+    /// same float path `compute_on` uses. Healthy nodes stay bit-identical.
+    #[test]
+    fn straggler_stretch_is_exact_and_per_node() {
+        let per_thread = |plan: Option<FaultPlan>| -> Vec<Time> {
+            let mut cfg = GasnetConfig::test_default(4, 2);
+            cfg.fault = plan;
+            let out = Arc::new(Mutex::new(vec![0; 4]));
+            let o2 = Arc::clone(&out);
+            launch(cfg, move |ctx, gn, me| {
+                let t0 = ctx.now();
+                gn.compute(ctx, me, time::us(100));
+                o2.lock().unwrap()[me] = ctx.now() - t0;
+            });
+            let v = out.lock().unwrap().clone();
+            v
+        };
+        let healthy = per_thread(None);
+        let slowed = per_thread(Some(FaultPlan::new(0).straggler(1, 2.5)));
+        // Threads 0,1 live on node 0: untouched, bit-identical.
+        assert_eq!(slowed[0], healthy[0]);
+        assert_eq!(slowed[1], healthy[1]);
+        // Threads 2,3 live on node 1: stretched by exactly 2.5×.
+        let stretched = time::from_secs_f64(time::as_secs_f64(time::us(100)) * 2.5);
+        let base = time::us(100);
+        for t in 2..4 {
+            assert_eq!(healthy[t], base);
+            assert_eq!(slowed[t], stretched, "thread {t}");
+        }
+        // An identity plan (factor 1.0) takes the untouched branch.
+        let identity = per_thread(Some(FaultPlan::new(0).straggler(1, 1.0)));
+        assert_eq!(identity, healthy);
     }
 }

@@ -478,4 +478,101 @@ mod tests {
         )));
         assert!(degraded > healthy, "{degraded} <= {healthy}");
     }
+
+    /// The degraded-NIC bandwidth math, exactly: a factor-`f` window on one
+    /// endpoint scales only that endpoint's NIC leg of the delivery by `f`;
+    /// connection service and wire latency are untouched.
+    #[test]
+    fn degraded_window_scales_exactly_one_nic_leg() {
+        let remote_time = |plan: Option<FaultPlan>| -> Time {
+            let sim = Simulation::new();
+            let mut k = sim.kernel();
+            let mut fab = Fabric::build(&mut k, Conduit::gige(), 2);
+            if let Some(p) = plan {
+                fab.set_fault(std::sync::Arc::new(hupc_fault::FaultInjector::new(p)));
+            }
+            let conn = fab.open_connection(&mut k, NodeId(0)).unwrap();
+            delivered(fab.inject(&mut k, conn, NodeId(1), 4096)).1
+        };
+        let c = Conduit::gige();
+        let scaled =
+            |f: f64| time::from_secs_f64(time::as_secs_f64(c.nic_service(4096)) * f);
+        let base = c.conn_service(4096) + c.wire_latency;
+        // Window on the sender: tx leg × 3, rx leg untouched.
+        let tx = remote_time(Some(FaultPlan::new(0).degraded_nic(0, 0, time::secs(1), 3.0)));
+        assert_eq!(tx, base + scaled(3.0) + c.nic_service(4096));
+        // Window on the receiver: rx leg × 3, tx leg untouched.
+        let rx = remote_time(Some(FaultPlan::new(0).degraded_nic(1, 0, time::secs(1), 3.0)));
+        assert_eq!(rx, base + c.nic_service(4096) + scaled(3.0));
+        // Both endpoints degraded: both legs scale.
+        let both = remote_time(Some(
+            FaultPlan::new(0)
+                .degraded_nic(0, 0, time::secs(1), 2.0)
+                .degraded_nic(1, 0, time::secs(1), 5.0),
+        ));
+        assert_eq!(both, base + scaled(2.0) + scaled(5.0));
+        // Window that opens after the injection instant: free.
+        let later = remote_time(Some(FaultPlan::new(0).degraded_nic(
+            0,
+            time::secs(1),
+            time::secs(2),
+            9.0,
+        )));
+        assert_eq!(later, remote_time(None));
+    }
+
+    /// Fault-window degradation compounds multiplicatively with the static
+    /// progress-oversubscription factor.
+    #[test]
+    fn fault_window_compounds_with_oversubscription_factor() {
+        let remote_time = |static_f: f64, window: Option<f64>| -> Time {
+            let sim = Simulation::new();
+            let mut k = sim.kernel();
+            let mut fab = Fabric::build(&mut k, Conduit::gige(), 2);
+            fab.set_nic_factor(static_f);
+            if let Some(w) = window {
+                fab.set_fault(std::sync::Arc::new(hupc_fault::FaultInjector::new(
+                    FaultPlan::new(0).degraded_nic(0, 0, time::secs(1), w),
+                )));
+            }
+            let conn = fab.open_connection(&mut k, NodeId(0)).unwrap();
+            delivered(fab.inject(&mut k, conn, NodeId(1), 8192)).1
+        };
+        let c = Conduit::gige();
+        let scaled =
+            |f: f64| time::from_secs_f64(time::as_secs_f64(c.nic_service(8192)) * f);
+        // 2× oversubscription × 3× window = 6× on the tx leg; the static
+        // factor also applies to the healthy rx leg.
+        assert_eq!(
+            remote_time(2.0, Some(3.0)),
+            c.conn_service(8192) + scaled(6.0) + c.wire_latency + scaled(2.0),
+        );
+    }
+
+    /// Loopback messages skip the wire but not the adapter: a degraded
+    /// window scales both NIC passes of the loopback.
+    #[test]
+    fn loopback_applies_degraded_window_to_both_passes() {
+        let through = |window: Option<f64>| -> Time {
+            let sim = Simulation::new();
+            let mut k = sim.kernel();
+            let mut fab = Fabric::build(&mut k, Conduit::gige(), 2);
+            if let Some(w) = window {
+                fab.set_fault(std::sync::Arc::new(hupc_fault::FaultInjector::new(
+                    FaultPlan::new(0).degraded_nic(0, 0, time::secs(1), w),
+                )));
+            }
+            let conn = fab.open_connection(&mut k, NodeId(0)).unwrap();
+            fab.inject_loopback(&mut k, conn, 2048)
+        };
+        let c = Conduit::gige();
+        let scaled =
+            |f: f64| time::from_secs_f64(time::as_secs_f64(c.nic_service(2048)) * f);
+        assert_eq!(through(None), c.conn_service(2048) + scaled(1.0) * 2);
+        assert_eq!(
+            through(Some(4.0)),
+            c.conn_service(2048) + scaled(4.0) * 2,
+            "both adapter passes must scale"
+        );
+    }
 }

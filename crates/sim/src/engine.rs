@@ -150,7 +150,7 @@ impl Default for Simulation {
 impl Simulation {
     pub fn new() -> Self {
         install_quiet_hook();
-        Simulation {
+        let sim = Simulation {
             shared: Arc::new(Shared {
                 kernel: Mutex::new(Kernel::new()),
                 engine_handoff: Handoff::new(),
@@ -158,7 +158,15 @@ impl Simulation {
             }),
             threads: Vec::new(),
             ran: false,
+        };
+        // Adopt the process-global tracer (if installed) so app-level
+        // drivers that construct their own Simulation internally are traced
+        // without plumbing a handle through every config struct.
+        #[cfg(feature = "trace")]
+        if let Some(t) = hupc_trace::global_tracer() {
+            sim.kernel().set_tracer(Some(t));
         }
+        sim
     }
 
     /// Mutable access to the kernel for pre-run setup (resources, barriers,
@@ -176,6 +184,14 @@ impl Simulation {
     /// [`Kernel::set_fast_path`]). On by default.
     pub fn set_fast_path(&self, on: bool) {
         self.kernel().set_fast_path(on);
+    }
+
+    /// Attach a structured tracer (see `hupc-trace`), overriding any
+    /// process-global one adopted at construction. Must be called before
+    /// [`Simulation::run`]: actors capture the tracer when they start.
+    #[cfg(feature = "trace")]
+    pub fn set_tracer(&self, t: Option<Arc<hupc_trace::Tracer>>) {
+        self.kernel().set_tracer(t);
     }
 
     /// Spawn a root actor scheduled to start at time 0.
@@ -221,6 +237,8 @@ impl Simulation {
                 match k.pop_event() {
                     Some(e) => {
                         k.log_event(e.time, e.seq, e.kind);
+                        #[cfg(feature = "trace")]
+                        k.trace_dispatch(&e);
                         k.set_now(e.time);
                         (e, k.trace)
                     }
@@ -339,6 +357,11 @@ fn spawn_actor(
                 id,
                 handoff: Arc::clone(&handoff),
                 deferred: AtomicU64::new(0),
+                // Captured after the first wake, i.e. once the run has
+                // started, so a tracer attached any time before `run()` is
+                // seen by every actor.
+                #[cfg(feature = "trace")]
+                tracer: relock(&shared2.kernel).tracer().cloned(),
             };
             let result = catch_unwind(AssertUnwindSafe(|| body(&ctx)));
             let shutdown = matches!(
@@ -395,6 +418,9 @@ pub struct Ctx {
     /// as a single logical advance — before any kernel interaction, so no
     /// other actor (and no event) can ever observe the stale clock.
     deferred: AtomicU64,
+    /// Tracer captured at actor start (cheap clone of the kernel's).
+    #[cfg(feature = "trace")]
+    tracer: Option<Arc<hupc_trace::Tracer>>,
 }
 
 impl Ctx {
@@ -698,6 +724,54 @@ impl Ctx {
     pub fn join(&self, child: ActorRef) {
         self.wait(child.exit_completion());
     }
+
+    // ----- structured tracing (observationally free) ----------------------
+
+    /// The tracer this actor captured at start, if any.
+    #[cfg(feature = "trace")]
+    pub fn tracer(&self) -> Option<&Arc<hupc_trace::Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// Whether full event recording is active (use to skip payload
+    /// computation at call sites; `trace_emit` re-checks anyway).
+    #[cfg(feature = "trace")]
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.tracer
+            .as_ref()
+            .is_some_and(|t| t.enabled(hupc_trace::TraceLevel::Full))
+    }
+
+    /// Emit a structured event stamped with this actor's current virtual
+    /// time (including lazily deferred delay). Never advances time.
+    #[cfg(feature = "trace")]
+    #[inline]
+    pub fn trace_emit(&self, kind: hupc_trace::EventKind, a: u64, b: u64) {
+        if let Some(t) = &self.tracer {
+            if t.enabled(hupc_trace::TraceLevel::Full) {
+                t.emit(self.now(), self.id as u32, kind, a, b);
+            }
+        }
+    }
+
+    /// Bump a metrics counter (active at `Counters` level and above).
+    #[cfg(feature = "trace")]
+    #[inline]
+    pub fn trace_count(&self, name: &'static str, loc: hupc_trace::Loc, v: u64) {
+        if let Some(t) = &self.tracer {
+            t.count(name, loc, v);
+        }
+    }
+
+    /// Record a metrics histogram observation (at `Counters` and above).
+    #[cfg(feature = "trace")]
+    #[inline]
+    pub fn trace_observe(&self, name: &'static str, loc: hupc_trace::Loc, v: u64) {
+        if let Some(t) = &self.tracer {
+            t.observe(name, loc, v);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -776,6 +850,49 @@ mod tests {
             });
         }
         sim.run();
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn structured_tracer_records_kernel_events_without_perturbing_time() {
+        use hupc_trace::{EventKind as K, TraceLevel, Tracer};
+
+        fn run(tracer: Option<Arc<Tracer>>) -> SimulationStats {
+            let mut sim = Simulation::new();
+            sim.set_tracer(tracer);
+            let bar = sim.kernel().new_barrier(2);
+            for id in 0..2u64 {
+                sim.spawn(format!("a{id}"), move |ctx| {
+                    ctx.advance(time::us(id + 1));
+                    ctx.barrier_wait(bar); // parks + scheduler wakes
+                    if id == 0 {
+                        // Runs on after a1 finished: sole live actor, so
+                        // these advances take the bypass fast path.
+                        ctx.advance(time::us(1));
+                        ctx.advance(time::us(2));
+                    }
+                });
+            }
+            sim.run()
+        }
+
+        let plain = run(None);
+        let tracer = Arc::new(Tracer::new(TraceLevel::Full));
+        let traced = run(Some(Arc::clone(&tracer)));
+        // Observationally free: identical stats with and without recording.
+        assert_eq!(plain, traced);
+        let merged = tracer.merge();
+        assert!(!merged.is_empty());
+        // Totally ordered by (time, seq); seqs unique.
+        assert!(merged
+            .windows(2)
+            .all(|w| (w[0].time, w[0].seq) < (w[1].time, w[1].seq)));
+        // The run exercises both the fast path and the full scheduler path.
+        assert!(merged.iter().any(|e| e.kind == K::FastPathBypass));
+        assert!(merged.iter().any(|e| e.kind == K::Wake));
+        assert!(merged.iter().any(|e| e.kind == K::Park));
+        assert!(merged.iter().any(|e| e.kind == K::Schedule));
+        assert_eq!(tracer.events_dropped(), 0);
     }
 
     #[test]

@@ -117,6 +117,20 @@ pub(crate) enum BlockKind {
     Mutex(MutexId),
 }
 
+/// Payload code for structured `Park` trace events.
+#[cfg(feature = "trace")]
+fn park_code(on: BlockKind) -> u64 {
+    match on {
+        BlockKind::Start => hupc_trace::park::START,
+        BlockKind::Advance => hupc_trace::park::ADVANCE,
+        BlockKind::Resource(_) => hupc_trace::park::RESOURCE,
+        BlockKind::Completion(_) => hupc_trace::park::COMPLETION,
+        BlockKind::Cond(_) => hupc_trace::park::COND,
+        BlockKind::Barrier(_) => hupc_trace::park::BARRIER,
+        BlockKind::Mutex(_) => hupc_trace::park::MUTEX,
+    }
+}
+
 pub(crate) struct ActorMeta {
     pub name: String,
     pub status: ActorStatus,
@@ -218,6 +232,11 @@ pub struct Kernel {
     pub(crate) heap_ops: u64,
     /// Optional full event log for trace-equality tests.
     event_log: Option<Vec<TraceEvent>>,
+    /// Structured virtual-time tracer (hupc-trace), if one is attached.
+    /// Emitting never touches `now`, the queue, or any seq the simulation
+    /// observes — tracing is observationally free by construction.
+    #[cfg(feature = "trace")]
+    tracer: Option<std::sync::Arc<hupc_trace::Tracer>>,
 }
 
 impl Kernel {
@@ -241,6 +260,47 @@ impl Kernel {
             handoffs: 0,
             heap_ops: 0,
             event_log: None,
+            #[cfg(feature = "trace")]
+            tracer: None,
+        }
+    }
+
+    /// Attach (or detach) a structured tracer. All kernel-level events
+    /// (schedule / wake / fast-path bypass / park / complete / timeout) are
+    /// emitted through it when its level is `Full`.
+    #[cfg(feature = "trace")]
+    pub fn set_tracer(&mut self, t: Option<std::sync::Arc<hupc_trace::Tracer>>) {
+        self.tracer = t;
+    }
+
+    /// The attached tracer, if any.
+    #[cfg(feature = "trace")]
+    pub fn tracer(&self) -> Option<&std::sync::Arc<hupc_trace::Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// Emit a structured trace event at the kernel clock (single branch when
+    /// no tracer is attached or its level is below `Full`).
+    #[cfg(feature = "trace")]
+    #[inline]
+    pub(crate) fn temit(&self, time: Time, actor: usize, kind: hupc_trace::EventKind, a: u64, b: u64) {
+        if let Some(t) = &self.tracer {
+            t.emit(time, actor as u32, kind, a, b);
+        }
+    }
+
+    /// Emit the structured counterpart of a dispatched scheduler event.
+    #[cfg(feature = "trace")]
+    pub(crate) fn trace_dispatch(&self, e: &Event) {
+        match e.kind {
+            EventKind::Wake(a) => self.temit(e.time, a, hupc_trace::EventKind::Wake, e.seq, 0),
+            EventKind::Complete(c) => {
+                self.temit(e.time, usize::MAX, hupc_trace::EventKind::Complete, c.0 as u64, e.seq)
+            }
+            EventKind::Timeout(a, epoch) => {
+                let live = self.timeout_is_live(a, epoch);
+                self.temit(e.time, a, hupc_trace::EventKind::Timeout, live as u64, e.seq)
+            }
         }
     }
 
@@ -383,6 +443,8 @@ impl Kernel {
             );
         }
         self.log_event(t, seq, EventKind::Wake(actor));
+        #[cfg(feature = "trace")]
+        self.temit(t, actor, hupc_trace::EventKind::FastPathBypass, seq, 0);
         self.set_now(t);
         self.fast_path_hits += 1;
     }
@@ -398,12 +460,16 @@ impl Kernel {
         );
         self.actors[actor].status = ActorStatus::Runnable;
         self.actors[actor].wake_epoch += 1; // voids outstanding timeouts
+        #[cfg(feature = "trace")]
+        self.temit(self.now, actor, hupc_trace::EventKind::Schedule, time, 0);
         self.push_event(time, EventKind::Wake(actor));
     }
 
     pub(crate) fn mark_blocked(&mut self, actor: ActorId, on: BlockKind) {
         self.actors[actor].status = ActorStatus::Blocked;
         self.actors[actor].blocked_on = on;
+        #[cfg(feature = "trace")]
+        self.temit(self.now, actor, hupc_trace::EventKind::Park, park_code(on), 0);
     }
 
     /// Arm a timed-wait deadline for `actor` at `at`. Must be called while

@@ -1,0 +1,107 @@
+//! Trace exporters: JSONL (golden-trace format) and chrome://tracing.
+
+use crate::{span, Event, EventKind};
+
+/// Export a merged trace as JSON Lines, one event per line.
+///
+/// This is the **golden-trace format**: every field is an integer or a
+/// stable kind name, rendered identically on every platform, so committed
+/// goldens can be compared byte-for-byte. Field order is fixed:
+/// `t` (virtual time, ns), `s` (trace seq), `a` (actor), `k` (kind name),
+/// `p` (payload pair).
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 64);
+    for e in events {
+        out.push_str(&format!(
+            "{{\"t\":{},\"s\":{},\"a\":{},\"k\":\"{}\",\"p\":[{},{}]}}\n",
+            e.time,
+            e.seq,
+            e.actor,
+            e.kind.name(),
+            e.a,
+            e.b
+        ));
+    }
+    out
+}
+
+/// Export a merged trace in the chrome://tracing "Trace Event" JSON format
+/// (load in `chrome://tracing` or Perfetto). Spans become Begin/End pairs on
+/// the emitting actor's track; everything else becomes an instant event.
+/// Timestamps are virtual nanoseconds (`displayTimeUnit: "ns"`).
+pub fn to_chrome_trace(events: &[Event]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    let mut first = true;
+    for e in events {
+        let (ph, name) = match e.kind {
+            EventKind::SpanBegin => ("B", span::name(e.a)),
+            EventKind::SpanEnd => ("E", span::name(e.a)),
+            k => ("i", k.name()),
+        };
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        // chrome expects microsecond `ts`; emit ns scaled into fractional µs
+        // as an exact integer-thousandths string to stay float-free.
+        let us = e.time / 1000;
+        let frac = e.time % 1000;
+        out.push_str(&format!(
+            "{{\"name\":\"{name}\",\"ph\":\"{ph}\",\"ts\":{us}.{frac:03},\"pid\":0,\"tid\":{},\
+             \"args\":{{\"seq\":{},\"a\":{},\"b\":{}}}{}}}",
+            e.actor,
+            e.seq,
+            e.a,
+            e.b,
+            if ph == "i" { ",\"s\":\"t\"" } else { "" }
+        ));
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Tracer, TraceLevel};
+
+    fn sample() -> Vec<Event> {
+        let t = Tracer::new(TraceLevel::Full);
+        t.emit(0, 0, EventKind::Schedule, 0, 0);
+        t.emit(1500, 1, EventKind::SpanBegin, span::FT_COMPUTE, 0);
+        t.emit(2500, 1, EventKind::SpanEnd, span::FT_COMPUTE, 0);
+        t.merge()
+    }
+
+    #[test]
+    fn jsonl_is_one_stable_line_per_event() {
+        let s = to_jsonl(&sample());
+        let lines: Vec<_> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "{\"t\":0,\"s\":0,\"a\":0,\"k\":\"sched\",\"p\":[0,0]}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"t\":1500,\"s\":1,\"a\":1,\"k\":\"span_begin\",\"p\":[0,0]}"
+        );
+    }
+
+    #[test]
+    fn chrome_trace_pairs_spans_and_parses_shape() {
+        let s = to_chrome_trace(&sample());
+        assert!(s.contains("\"ph\":\"B\""), "{s}");
+        assert!(s.contains("\"ph\":\"E\""), "{s}");
+        assert!(s.contains("\"name\":\"ft.compute\""), "{s}");
+        // 1500 ns → 1.500 µs, exactly.
+        assert!(s.contains("\"ts\":1.500"), "{s}");
+        assert!(s.starts_with("{\"displayTimeUnit\":\"ns\""));
+        assert!(s.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn jsonl_empty_trace_is_empty_string() {
+        assert_eq!(to_jsonl(&[]), "");
+    }
+}

@@ -1,0 +1,331 @@
+//! Typed metrics keyed by topology location.
+//!
+//! The registry replaces ad-hoc counter fields on `SimulationStats`: any
+//! layer can register a counter or histogram under a stable name plus a
+//! [`Loc`] (node / thread), and the whole registry snapshots into a
+//! deterministic, sorted report (BTreeMap keys — no hash-order wobble).
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Topology location a metric is attributed to. `u32::MAX` means
+/// "unspecified" on that axis, so process-wide metrics sort last.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Loc {
+    pub node: u32,
+    pub thread: u32,
+}
+
+impl Loc {
+    /// Process-wide (no location).
+    pub fn global() -> Loc {
+        Loc {
+            node: u32::MAX,
+            thread: u32::MAX,
+        }
+    }
+
+    /// Attributed to a UPC thread on a known node.
+    pub fn new(node: u32, thread: u32) -> Loc {
+        Loc { node, thread }
+    }
+
+    /// Attributed to a thread whose node is unknown / irrelevant.
+    pub fn thread(thread: u32) -> Loc {
+        Loc {
+            node: u32::MAX,
+            thread,
+        }
+    }
+
+    /// Attributed to a whole node.
+    pub fn node(node: u32) -> Loc {
+        Loc {
+            node,
+            thread: u32::MAX,
+        }
+    }
+
+    fn render(&self) -> String {
+        match (self.node, self.thread) {
+            (u32::MAX, u32::MAX) => "*".to_string(),
+            (u32::MAX, t) => format!("t{t}"),
+            (n, u32::MAX) => format!("n{n}"),
+            (n, t) => format!("n{n}/t{t}"),
+        }
+    }
+}
+
+/// Power-of-two-bucketed histogram: observation `v` lands in bucket
+/// `bits(v)` (0 for `v == 0`), i.e. bucket `i > 0` covers `[2^(i-1), 2^i)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hist {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    /// `buckets[i]` = number of observations with `bits(v) == i` (i ≤ 64).
+    pub buckets: Vec<u64>,
+}
+
+impl Hist {
+    fn new() -> Hist {
+        Hist {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: vec![0; 65],
+        }
+    }
+
+    fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket(v)] += 1;
+    }
+
+    /// Bucket index for a value: number of significant bits.
+    pub fn bucket(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Mean (integer division; metrics are integer-valued by design).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// A snapshotted metric value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricValue {
+    Counter(u64),
+    Histogram(Hist),
+}
+
+enum Metric {
+    Counter(u64),
+    Histogram(Hist),
+}
+
+/// Deterministic snapshot of the registry: entries sorted by (name, loc).
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    pub entries: Vec<(String, Loc, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// Render as an aligned text table (one metric per line).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let w = self
+            .entries
+            .iter()
+            .map(|(n, l, _)| n.len() + 1 + l.render().len())
+            .max()
+            .unwrap_or(0);
+        for (name, loc, v) in &self.entries {
+            let key = format!("{name}@{}", loc.render());
+            match v {
+                MetricValue::Counter(c) => {
+                    out.push_str(&format!("{key:<w$}  {c}\n"));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{key:<w$}  count={} sum={} min={} max={} mean={}\n",
+                        h.count,
+                        h.sum,
+                        if h.count == 0 { 0 } else { h.min },
+                        h.max,
+                        h.mean(),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Render as deterministic JSON (sorted keys, integers only).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, loc, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}@{}\":", loc.render()));
+            match v {
+                MetricValue::Counter(c) => out.push_str(&c.to_string()),
+                MetricValue::Histogram(h) => out.push_str(&format!(
+                    "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{}}}",
+                    h.count,
+                    h.sum,
+                    if h.count == 0 { 0 } else { h.min },
+                    h.max
+                )),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Counters and histograms keyed by `(name, Loc)`. All methods take `&self`;
+/// internal mutex (uncontended: actors are serialized by the engine).
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<(&'static str, Loc), Metric>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            metrics: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<(&'static str, Loc), Metric>> {
+        self.metrics
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Add `v` to the counter `(name, loc)`, creating it at zero.
+    /// Panics (debug) if the key is already a histogram.
+    pub fn count(&self, name: &'static str, loc: Loc, v: u64) {
+        let mut m = self.lock();
+        match m.entry((name, loc)).or_insert(Metric::Counter(0)) {
+            Metric::Counter(c) => *c += v,
+            Metric::Histogram(_) => {
+                debug_assert!(false, "metric {name} is a histogram, not a counter");
+            }
+        }
+    }
+
+    /// Record `v` into the histogram `(name, loc)`, creating it empty.
+    pub fn observe(&self, name: &'static str, loc: Loc, v: u64) {
+        let mut m = self.lock();
+        match m
+            .entry((name, loc))
+            .or_insert_with(|| Metric::Histogram(Hist::new()))
+        {
+            Metric::Histogram(h) => h.observe(v),
+            Metric::Counter(_) => {
+                debug_assert!(false, "metric {name} is a counter, not a histogram");
+            }
+        }
+    }
+
+    /// Current value of a counter (0 if absent or a histogram).
+    pub fn counter_value(&self, name: &'static str, loc: Loc) -> u64 {
+        match self.lock().get(&(name, loc)) {
+            Some(Metric::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// Sum of a counter across every location it was recorded at.
+    pub fn counter_total(&self, name: &'static str) -> u64 {
+        self.lock()
+            .iter()
+            .filter(|((n, _), _)| *n == name)
+            .map(|(_, m)| match m {
+                Metric::Counter(c) => *c,
+                Metric::Histogram(h) => h.count,
+            })
+            .sum()
+    }
+
+    /// Snapshot of a histogram (None if absent or a counter).
+    pub fn histogram(&self, name: &'static str, loc: Loc) -> Option<Hist> {
+        match self.lock().get(&(name, loc)) {
+            Some(Metric::Histogram(h)) => Some(h.clone()),
+            _ => None,
+        }
+    }
+
+    /// Deterministic snapshot: sorted by (name, loc).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let m = self.lock();
+        MetricsSnapshot {
+            entries: m
+                .iter()
+                .map(|((name, loc), v)| {
+                    let v = match v {
+                        Metric::Counter(c) => MetricValue::Counter(*c),
+                        Metric::Histogram(h) => MetricValue::Histogram(h.clone()),
+                    };
+                    ((*name).to_string(), *loc, v)
+                })
+                .collect(),
+        }
+    }
+
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_location() {
+        let r = MetricsRegistry::new();
+        r.count("puts", Loc::new(0, 1), 3);
+        r.count("puts", Loc::new(0, 1), 4);
+        r.count("puts", Loc::new(1, 2), 5);
+        assert_eq!(r.counter_value("puts", Loc::new(0, 1)), 7);
+        assert_eq!(r.counter_total("puts"), 12);
+        assert_eq!(r.counter_value("puts", Loc::global()), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bits() {
+        assert_eq!(Hist::bucket(0), 0);
+        assert_eq!(Hist::bucket(1), 1);
+        assert_eq!(Hist::bucket(2), 2);
+        assert_eq!(Hist::bucket(3), 2);
+        assert_eq!(Hist::bucket(4), 3);
+        assert_eq!(Hist::bucket(u64::MAX), 64);
+        let r = MetricsRegistry::new();
+        for v in [0u64, 1, 2, 3, 4, 1024] {
+            r.observe("bytes", Loc::global(), v);
+        }
+        let h = r.histogram("bytes", Loc::global()).unwrap();
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 1034);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1024);
+        assert_eq!(h.buckets[0], 1); // 0
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[2], 2); // 2, 3
+        assert_eq!(h.buckets[3], 1); // 4
+        assert_eq!(h.buckets[11], 1); // 1024
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_renders() {
+        let r = MetricsRegistry::new();
+        r.count("z", Loc::global(), 1);
+        r.count("a", Loc::thread(3), 2);
+        r.observe("m", Loc::node(1), 9);
+        let s = r.snapshot();
+        let names: Vec<_> = s.entries.iter().map(|(n, _, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a", "m", "z"]);
+        let txt = s.render_text();
+        assert!(txt.contains("a@t3"), "{txt}");
+        assert!(txt.contains("m@n1"), "{txt}");
+        assert!(txt.contains("z@*"), "{txt}");
+        let json = s.to_json();
+        assert!(json.contains("\"a@t3\":2"), "{json}");
+        assert!(json.contains("\"m@n1\":{\"count\":1"), "{json}");
+    }
+}

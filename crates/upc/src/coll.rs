@@ -17,6 +17,12 @@ impl<'a> Upc<'a> {
         let p = self.threads();
         let me = self.mythread();
         assert!(words.len() <= SCRATCH_WORDS / 2, "broadcast exceeds scratch");
+        #[cfg(feature = "trace")]
+        self.ctx().trace_emit(
+            hupc_trace::EventKind::CollBegin,
+            hupc_trace::coll::BROADCAST,
+            words.len() as u64,
+        );
         let scratch = self.runtime().scratch_off;
         // Rotate ranks so root is rank 0.
         let rel = (me + p - root) % p;
@@ -36,6 +42,9 @@ impl<'a> Upc<'a> {
         }
         self.barrier();
         self.gasnet().segment(me).read(scratch, words);
+        #[cfg(feature = "trace")]
+        self.ctx()
+            .trace_emit(hupc_trace::EventKind::CollEnd, hupc_trace::coll::BROADCAST, 0);
     }
 
     /// Broadcast one word from `root`.
@@ -55,6 +64,9 @@ impl<'a> Upc<'a> {
         let p = self.threads();
         let me = self.mythread();
         assert!(p <= SCRATCH_WORDS / 2, "too many threads for scratch gather");
+        #[cfg(feature = "trace")]
+        self.ctx()
+            .trace_emit(hupc_trace::EventKind::CollBegin, hupc_trace::coll::ALLREDUCE, 1);
         let gather = self.runtime().scratch_off + SCRATCH_WORDS / 2;
         self.memput(0, gather + me, &[v]);
         self.barrier();
@@ -69,7 +81,11 @@ impl<'a> Upc<'a> {
         } else {
             0
         };
-        self.broadcast_word(0, result)
+        let r = self.broadcast_word(0, result);
+        #[cfg(feature = "trace")]
+        self.ctx()
+            .trace_emit(hupc_trace::EventKind::CollEnd, hupc_trace::coll::ALLREDUCE, 0);
+        r
     }
 
     /// All-reduce an `f64` sum.
@@ -119,6 +135,12 @@ impl<'a> Upc<'a> {
         assert!(src.per_thread_elems() >= p * count, "src chunk too small");
         assert!(dst.per_thread_elems() >= p * count, "dst chunk too small");
         let wpe = T::WORDS;
+        #[cfg(feature = "trace")]
+        self.ctx().trace_emit(
+            hupc_trace::EventKind::CollBegin,
+            hupc_trace::coll::ALL_EXCHANGE,
+            (p * count * wpe) as u64,
+        );
         let mut handles = Vec::new();
         for step in 0..p {
             // Stagger targets to avoid all threads hammering thread 0 first.
@@ -138,6 +160,12 @@ impl<'a> Upc<'a> {
             self.wait_sync(h);
         }
         self.barrier();
+        #[cfg(feature = "trace")]
+        self.ctx().trace_emit(
+            hupc_trace::EventKind::CollEnd,
+            hupc_trace::coll::ALL_EXCHANGE,
+            0,
+        );
     }
 }
 

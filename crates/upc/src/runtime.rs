@@ -264,6 +264,42 @@ impl<'a> Upc<'a> {
         self.ctx.now()
     }
 
+    /// This thread's trace location (node + thread).
+    #[cfg(feature = "trace")]
+    pub fn trace_loc(&self) -> hupc_trace::Loc {
+        hupc_trace::Loc::new(
+            self.rt.gasnet().thread_node(self.me).0 as u32,
+            self.me as u32,
+        )
+    }
+
+    /// Whether metrics collection is active (counters level or above).
+    #[cfg(feature = "trace")]
+    #[inline]
+    fn metrics_on(&self) -> bool {
+        self.ctx
+            .tracer()
+            .is_some_and(|t| t.enabled(hupc_trace::TraceLevel::Counters))
+    }
+
+    /// Bump a metrics counter attributed to this thread's location.
+    #[cfg(feature = "trace")]
+    #[inline]
+    pub fn trace_count(&self, name: &'static str, v: u64) {
+        if self.metrics_on() {
+            self.ctx.trace_count(name, self.trace_loc(), v);
+        }
+    }
+
+    /// Record a histogram observation attributed to this thread's location.
+    #[cfg(feature = "trace")]
+    #[inline]
+    pub fn trace_observe(&self, name: &'static str, v: u64) {
+        if self.metrics_on() {
+            self.ctx.trace_observe(name, self.trace_loc(), v);
+        }
+    }
+
     /// Derive a `Upc` view for the same thread from a sub-thread's context
     /// (the PGAS "extends to sub-threads" property of §4.1.2; subject to the
     /// job's [`ThreadSafety`] level on every call).
