@@ -1,6 +1,7 @@
 //! One module per table / figure of the thesis' evaluation.
 
 pub mod ablation;
+pub mod coll;
 pub mod fault_uts;
 pub mod fig_3_3;
 pub mod fig_3_4;

@@ -1,0 +1,203 @@
+//! Property tests: the hierarchical collectives must agree with the flat
+//! reference algorithms bit-for-bit — across random machine shapes (1–4
+//! sockets × 1–16 cores), node counts, payload sizes, roots, and forced
+//! algorithm levels, including under fault-plan loss windows (retried
+//! transfers must not corrupt payloads).
+
+use std::sync::Arc;
+
+use hupc_coll::{CollAlgo, CollDomain, CollPlan};
+use hupc_gasnet::FaultPlan;
+use hupc_topo::MachineSpec;
+use hupc_upc::{UpcConfig, UpcJob};
+use proptest::prelude::*;
+
+/// A random machine + thread count that satisfies placement's constraints
+/// (threads divide evenly over nodes, and fit the per-node PUs).
+#[derive(Clone, Debug)]
+struct Shape {
+    machine: MachineSpec,
+    nodes: usize,
+    threads: usize,
+}
+
+struct Shapes;
+
+impl Strategy for Shapes {
+    type Value = Shape;
+    fn generate(&self, rng: &mut proptest::TestRng) -> Shape {
+        let sockets = 1 + rng.below(4) as usize;
+        let cores = 1 + rng.below(16) as usize;
+        let nodes = 1 + rng.below(3) as usize;
+        let per_node = sockets * cores;
+        let tpn = 1 + rng.below(per_node.min(8) as u64) as usize;
+        let mut machine = MachineSpec::small_test(nodes);
+        machine.sockets_per_node = sockets;
+        machine.cores_per_socket = cores;
+        Shape {
+            machine,
+            nodes,
+            threads: tpn * nodes,
+        }
+    }
+}
+
+fn shapes() -> Shapes {
+    Shapes
+}
+
+fn job_for(shape: &Shape, fault: Option<FaultPlan>) -> UpcJob {
+    let mut cfg = UpcConfig::test_default(shape.threads, shape.nodes);
+    cfg.gasnet.machine = shape.machine.clone();
+    cfg.gasnet.fault = fault;
+    UpcJob::new(cfg)
+}
+
+/// Run `body` once with no provider (flat reference) and once per forced
+/// hierarchical plan, returning each run's per-thread result vectors.
+fn run_ways<F>(shape: &Shape, fault: Option<FaultPlan>, body: F) -> Vec<Vec<Vec<u64>>>
+where
+    F: Fn(&hupc_upc::Upc<'_>) -> Vec<u64> + Send + Sync + Clone + 'static,
+{
+    let plans = [
+        None,
+        Some(CollPlan::Force(CollAlgo::TwoLevel)),
+        Some(CollPlan::Force(CollAlgo::ThreeLevel)),
+    ];
+    plans
+        .iter()
+        .map(|plan| {
+            let job = job_for(shape, fault.clone());
+            if let Some(p) = plan {
+                CollDomain::for_job(&job, *p).install(&job);
+            }
+            let body = body.clone();
+            let out: Arc<std::sync::Mutex<Vec<Vec<u64>>>> = Arc::new(std::sync::Mutex::new(vec![
+                Vec::new();
+                shape.threads
+            ]));
+            let sink = Arc::clone(&out);
+            job.run(move |upc| {
+                let r = body(&upc);
+                sink.lock().unwrap()[upc.mythread()] = r;
+            });
+            Arc::try_unwrap(out).unwrap().into_inner().unwrap()
+        })
+        .collect()
+}
+
+fn assert_all_ways_equal(ways: &[Vec<Vec<u64>>], what: &str, shape: &Shape) {
+    let flat = &ways[0];
+    for (i, hier) in ways.iter().enumerate().skip(1) {
+        assert_eq!(
+            hier, flat,
+            "{what}: way {i} diverged from flat reference on {shape:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn broadcast_matches_flat(shape in shapes(), len in 0usize..300, root_pick in 0usize..64) {
+        let root = root_pick % shape.threads;
+        let ways = run_ways(&shape, None, move |upc| {
+            let mut w: Vec<u64> = if upc.mythread() == root {
+                (0..len as u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)).collect()
+            } else {
+                vec![0; len]
+            };
+            upc.broadcast_words(root, &mut w);
+            w
+        });
+        assert_all_ways_equal(&ways, "broadcast", &shape);
+    }
+
+    #[test]
+    fn allreduce_matches_flat(shape in shapes(), len in 1usize..200) {
+        let ways = run_ways(&shape, None, move |upc| {
+            let me = upc.mythread() as u64;
+            let mut v: Vec<u64> = (0..len as u64).map(|i| (me + 1).wrapping_mul(i + 17)).collect();
+            upc.allreduce_word_vec(&mut v, &|a, b| a.wrapping_add(b));
+            let mx = upc.allreduce_max_u64(me.wrapping_mul(31));
+            let sum = upc.allreduce_sum_u64(me + 5);
+            v.push(mx);
+            v.push(sum);
+            v
+        });
+        assert_all_ways_equal(&ways, "allreduce", &shape);
+    }
+
+    #[test]
+    fn allgather_matches_flat(shape in shapes(), b in 0usize..90) {
+        let p = shape.threads;
+        let ways = run_ways(&shape, None, move |upc| {
+            let me = upc.mythread() as u64;
+            let mine: Vec<u64> = (0..b as u64).map(|i| me * 1000 + i).collect();
+            let mut out = vec![0u64; p * b];
+            upc.allgather_words(&mine, &mut out);
+            out
+        });
+        assert_all_ways_equal(&ways, "allgather", &shape);
+    }
+
+    #[test]
+    fn all_exchange_matches_flat(shape in shapes(), bw in 1usize..5) {
+        let p = shape.threads;
+        let ways: Vec<Vec<Vec<u64>>> = [None, Some(())]
+            .iter()
+            .map(|hier| {
+                let job = job_for(&shape, None);
+                let src = job.alloc_shared::<u64>(p * p * bw, p * bw);
+                let dst = job.alloc_shared::<u64>(p * p * bw, p * bw);
+                if hier.is_some() {
+                    CollDomain::for_job(&job, CollPlan::Force(CollAlgo::TwoLevel))
+                        .reserve_exchange(&job, bw)
+                        .install(&job);
+                }
+                let out = Arc::new(std::sync::Mutex::new(vec![Vec::new(); p]));
+                let sink = Arc::clone(&out);
+                job.run(move |upc| {
+                    let me = upc.mythread() as u64;
+                    src.with_local_words(&upc, |w| {
+                        for (i, x) in w.iter_mut().enumerate() {
+                            *x = me.wrapping_mul(7919).wrapping_add(i as u64);
+                        }
+                    });
+                    upc.barrier();
+                    upc.all_exchange(src, dst, bw, false);
+                    let r = dst.with_local_words(&upc, |w| w.to_vec());
+                    sink.lock().unwrap()[upc.mythread()] = r;
+                });
+                Arc::try_unwrap(out).unwrap().into_inner().unwrap()
+            })
+            .collect();
+        assert_eq!(ways[1], ways[0], "coalesced exchange diverged on {shape:?}");
+    }
+
+    #[test]
+    fn collectives_survive_loss_windows(shape in shapes(), seed in 0u64..1000) {
+        // Lossy links: transfers retry under the fault plan; payload data
+        // must still come out identical to the fault-free flat reference.
+        let fault = FaultPlan::new(seed).loss(0.2);
+        let reference = run_ways(&shape, None, |upc| {
+            let me = upc.mythread() as u64;
+            let mut w = if upc.mythread() == 0 { vec![99, 98, 97] } else { vec![0; 3] };
+            upc.broadcast_words(0, &mut w);
+            w.push(upc.allreduce_sum_u64(me * me + 1));
+            w
+        });
+        let lossy = run_ways(&shape, Some(fault), |upc| {
+            let me = upc.mythread() as u64;
+            let mut w = if upc.mythread() == 0 { vec![99, 98, 97] } else { vec![0; 3] };
+            upc.broadcast_words(0, &mut w);
+            w.push(upc.allreduce_sum_u64(me * me + 1));
+            w
+        });
+        // every way (flat and hierarchical), lossy or not, same data
+        for (i, way) in lossy.iter().enumerate() {
+            assert_eq!(way, &reference[0], "lossy way {i} corrupted data on {shape:?}");
+        }
+    }
+}

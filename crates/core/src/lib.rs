@@ -25,6 +25,7 @@
 //! | [`gasnet`] | `hupc-gasnet` | segments, one-sided put/get, PSHM, teams |
 //! | [`upc`] | `hupc-upc` | SPMD launcher, shared arrays, collectives, locks |
 //! | [`groups`] | `hupc-groups` | Chapter 3: cooperative thread groups |
+//! | [`coll`] | `hupc-coll` | topology-aware hierarchical collectives |
 //! | [`subthreads`] | `hupc-subthreads` | Chapter 4: nested sub-threads |
 //! | [`mpi`] | `hupc-mpi` | two-sided baseline substrate |
 //! | [`stream`] / [`uts`] / [`fft`] | apps | the evaluation workloads |
@@ -52,6 +53,7 @@
 //! });
 //! ```
 
+pub use hupc_coll as coll;
 pub use hupc_fft as fft;
 pub use hupc_gasnet as gasnet;
 pub use hupc_groups as groups;
@@ -73,6 +75,7 @@ pub mod prelude {
         AccessPath, Backend, CommError, FaultPlan, Gasnet, GasnetConfig, Handle, Jitter,
         RetryPolicy,
     };
+    pub use hupc_coll::{CollAlgo, CollDomain, CollPlan};
     pub use hupc_groups::{GroupLevel, GroupSet, ThreadGroup};
     pub use hupc_net::Conduit;
     pub use hupc_sim::{time, Ctx, SimCell, SimError, Simulation, Time};

@@ -30,6 +30,11 @@ pub enum ExchangeKind {
     /// Issue non-blocking puts per plane as soon as it is computed
     /// (Bell et al.'s overlap algorithm, thesis §4.3.3.1).
     Overlap,
+    /// Stage every per-destination slot locally and hand the whole
+    /// transpose to the hierarchical collective layer: intra-node slots
+    /// move over shared memory, remote slots are coalesced into one
+    /// message per destination *node* (`hupc-coll` all-to-all).
+    Hierarchical,
 }
 
 impl ExchangeKind {
@@ -38,6 +43,7 @@ impl ExchangeKind {
             ExchangeKind::SplitPhaseBlocking => "split-phase (blocking)",
             ExchangeKind::SplitPhase => "split-phase",
             ExchangeKind::Overlap => "overlap",
+            ExchangeKind::Hierarchical => "hierarchical (coalesced)",
         }
     }
 }
@@ -145,6 +151,21 @@ pub fn run_ft_upc(cfg: FtConfig) -> FtResult {
     let charges = Charges::new(&l);
     let iters = cfg.iters();
 
+    let hier = cfg.exchange == ExchangeKind::Hierarchical;
+    let slot_words = l.slot * 2;
+    let chunk_words = l.chunk * 2;
+    // The coalesced exchange needs room for the send staging plus the
+    // per-node leader staging on top of the recv slots and the collective
+    // scratch; the other schedules keep the seed's segment size.
+    let segment_words = if hier && cfg.mode == ComputeMode::Execute {
+        let node_size = cfg.threads / cfg.nodes_used.max(1);
+        (hupc_upc::SCRATCH_WORDS + 2 * chunk_words + l.p * node_size * slot_words + 256)
+            .next_power_of_two()
+            .max(1 << 10)
+    } else {
+        1 << 10
+    };
+
     let job = UpcJob::new(UpcConfig {
         gasnet: GasnetConfig {
             machine: cfg.machine.clone(),
@@ -153,7 +174,7 @@ pub fn run_ft_upc(cfg: FtConfig) -> FtResult {
             bind: cfg.bind,
             backend: cfg.backend,
             conduit: cfg.conduit.clone(),
-            segment_words: 1 << 10,
+            segment_words,
             overheads: cfg.overheads,
             fault: None,
             retry: Default::default(),
@@ -167,6 +188,19 @@ pub fn run_ft_upc(cfg: FtConfig) -> FtResult {
         ComputeMode::Execute => Some(job.alloc_shared::<[f64; 2]>(l.chunk * l.p, l.chunk)),
         ComputeMode::Model => None,
     };
+    // The hierarchical schedule packs into a PGAS send staging first, then
+    // lets the collective layer coalesce it per destination node.
+    let send: Option<SharedArray<[f64; 2]>> = match (cfg.mode, hier) {
+        (ComputeMode::Execute, true) => Some(job.alloc_shared::<[f64; 2]>(l.chunk * l.p, l.chunk)),
+        _ => None,
+    };
+    // Checksum/stat reductions (and the coalesced exchange when selected)
+    // route through the hierarchical collective layer.
+    let mut domain = hupc_coll::CollDomain::for_job(&job, hupc_coll::CollPlan::Auto);
+    if hier && cfg.mode == ComputeMode::Execute {
+        domain = domain.reserve_exchange(&job, slot_words);
+    }
+    domain.install(&job);
 
     let out: Arc<SimCell<FtResult>> = Arc::new(SimCell::default());
     let out2 = Arc::clone(&out);
@@ -188,7 +222,7 @@ pub fn run_ft_upc(cfg: FtConfig) -> FtResult {
 
         // Forward 3-D FFT: 2-D local passes, exchange, z pass.
         run_fft2d(&upc, &l, &charges, pool.as_ref(), data.as_mut(), Direction::Forward, &mut ph);
-        run_exchange(&upc, &cfg2, &l, recv.as_ref(), data.as_mut(), true, pool.as_ref(), &mut ph);
+        run_exchange(&upc, &cfg2, &l, recv.as_ref(), send.as_ref(), data.as_mut(), true, pool.as_ref(), &mut ph);
         run_unpack(&upc, &l, recv.as_ref(), data.as_mut(), true, pool.as_ref(), &mut ph);
         run_fftz(&upc, &l, &charges, pool.as_ref(), data.as_mut(), Direction::Forward, &mut ph);
         if let Some(d) = data.as_mut() {
@@ -198,7 +232,7 @@ pub fn run_ft_upc(cfg: FtConfig) -> FtResult {
         for t in 1..=iters {
             run_evolve(&upc, &l, pool.as_ref(), data.as_mut(), me, t, &mut ph);
             run_fftz(&upc, &l, &charges, pool.as_ref(), data.as_mut(), Direction::Inverse, &mut ph);
-            run_exchange(&upc, &cfg2, &l, recv.as_ref(), data.as_mut(), false, pool.as_ref(), &mut ph);
+            run_exchange(&upc, &cfg2, &l, recv.as_ref(), send.as_ref(), data.as_mut(), false, pool.as_ref(), &mut ph);
             run_unpack(&upc, &l, recv.as_ref(), data.as_mut(), false, pool.as_ref(), &mut ph);
             run_fft2d(&upc, &l, &charges, pool.as_ref(), data.as_mut(), Direction::Inverse, &mut ph);
             let (re, im) = data
@@ -370,6 +404,7 @@ fn run_exchange(
     cfg: &FtConfig,
     l: &Layout,
     recv: Option<&SharedArray<[f64; 2]>>,
+    send: Option<&SharedArray<[f64; 2]>>,
     data: Option<&mut Data>,
     forward: bool,
     pool: Option<&SubPool>,
@@ -415,6 +450,58 @@ fn run_exchange(
                         handles.push(h);
                     }
                 }
+            }
+        }
+        ExchangeKind::Hierarchical => {
+            charge_sweep(upc, pool, l.chunk as f64 * 32.0);
+            let slot_words = l.slot * 2;
+            let block_words = sub_elems * 2;
+            if let (Some(d), Some(s), Some(r)) = (data, send, recv) {
+                // Pack every per-destination slot into the local staging,
+                // then hand the whole transpose to the collective layer.
+                s.with_local_words(upc, |w| {
+                    for dest in 0..p {
+                        for pl in 0..planes {
+                            let o = dest * slot_words + pl * block_words;
+                            let blk = &mut w[o..o + block_words];
+                            if forward {
+                                pack_fwd_block(d, l, pl, dest, blk);
+                            } else {
+                                pack_inv_block(d, l, pl, dest, blk);
+                            }
+                        }
+                    }
+                });
+                upc.all_exchange_words(s.word_offset(), r.word_offset(), slot_words, false);
+            } else {
+                // Model mode: charge the coalesced traffic — one message
+                // per destination *node* (all of my slots for that node's
+                // threads), memcpy-scale copies for intra-node slots, and
+                // a local scatter of the received staging.
+                let gn = upc.gasnet();
+                let my_node = gn.thread_node(me);
+                let mut local_slots = 0usize;
+                let mut nodes: Vec<(usize, usize)> = Vec::new();
+                for t in 0..p {
+                    let n = gn.thread_node(t);
+                    if n == my_node {
+                        local_slots += 1;
+                    } else if let Some(e) = nodes.iter_mut().find(|(h, _)| gn.thread_node(*h) == n)
+                    {
+                        e.1 += 1;
+                    } else {
+                        nodes.push((t, 1));
+                    }
+                }
+                upc.ctx().advance_lazy(time::from_secs_f64(
+                    (local_slots * slot_words) as f64 * 8.0 * 2.0 / PACK_BW,
+                ));
+                for (head, n_slots) in nodes {
+                    handles.push(gn.transfer_nb(upc.ctx(), me, head, n_slots * slot_words * 8));
+                }
+                upc.ctx().advance_lazy(time::from_secs_f64(
+                    (l.chunk * 2) as f64 * 8.0 * 2.0 / PACK_BW,
+                ));
             }
         }
     }
@@ -588,6 +675,35 @@ mod tests {
         });
         let r = run_ft_upc(cfg);
         checksums_close(&r.checksums, &want);
+    }
+
+    #[test]
+    fn hierarchical_exchange_matches_sequential_reference() {
+        let class = FtClass::Custom { nx: 16, ny: 8, nz: 8, iters: 3 };
+        let want = seq_checksums(class);
+        let mut cfg = FtConfig::test_custom(16, 8, 8, 3, 4, 2);
+        cfg.class = class;
+        cfg.exchange = ExchangeKind::Hierarchical;
+        let r = run_ft_upc(cfg);
+        checksums_close(&r.checksums, &want);
+        assert!(r.comm_seconds > 0.0);
+    }
+
+    #[test]
+    fn hierarchical_model_mode_is_competitive_with_split_phase() {
+        let mut split = FtConfig::test_custom(16, 16, 16, 2, 4, 2);
+        split.mode = ComputeMode::Model;
+        let mut hier = split.clone();
+        hier.exchange = ExchangeKind::Hierarchical;
+        let rs = run_ft_upc(split);
+        let rh = run_ft_upc(hier);
+        assert!(rh.checksums.is_empty());
+        assert!(
+            rh.comm_seconds <= rs.comm_seconds * 1.5,
+            "hier {} vs split {}",
+            rh.comm_seconds,
+            rs.comm_seconds
+        );
     }
 
     #[test]

@@ -175,10 +175,58 @@ pub mod park {
 }
 
 /// Collective op codes for [`EventKind::CollBegin`] / [`EventKind::CollEnd`].
+///
+/// The `a` payload of a collective event packs three fields:
+/// `op | (algo << ALGO_SHIFT) | (phase << PHASE_SHIFT)`. A flat whole-op
+/// event is `algo == ALGO_FLAT` and `phase == 0`, so the packed value equals
+/// the bare op code — existing goldens (which predate the tags) stay valid
+/// byte-for-byte.
 pub mod coll {
     pub const BROADCAST: u64 = 0;
     pub const ALLREDUCE: u64 = 1;
     pub const ALL_EXCHANGE: u64 = 2;
+    pub const ALLGATHER: u64 = 3;
+    pub const BARRIER: u64 = 4;
+
+    /// Algorithm tag (which decomposition ran), packed above the op code.
+    pub const ALGO_SHIFT: u32 = 8;
+    pub const ALGO_FLAT: u64 = 0;
+    pub const ALGO_TWO_LEVEL: u64 = 1;
+    pub const ALGO_THREE_LEVEL: u64 = 2;
+
+    /// Phase tag (which stage of a hierarchical op), packed above the algo.
+    pub const PHASE_SHIFT: u32 = 12;
+    /// Whole-op event (no phase).
+    pub const PHASE_OP: u64 = 0;
+    /// Intra-group shared-memory stage (gather / fan-out, no network).
+    pub const PHASE_INTRA: u64 = 1;
+    /// Inter-leader network stage (trees / rings over gasnet).
+    pub const PHASE_INTER: u64 = 2;
+
+    /// Pack an op + algorithm tag (whole-op event).
+    pub fn tag(op: u64, algo: u64) -> u64 {
+        op | (algo << ALGO_SHIFT)
+    }
+
+    /// Pack an op + algorithm + phase tag (stage event).
+    pub fn phase_tag(op: u64, algo: u64, phase: u64) -> u64 {
+        op | (algo << ALGO_SHIFT) | (phase << PHASE_SHIFT)
+    }
+
+    /// The bare op code of a packed collective payload.
+    pub fn op_of(a: u64) -> u64 {
+        a & ((1 << ALGO_SHIFT) - 1)
+    }
+
+    /// The algorithm tag of a packed collective payload.
+    pub fn algo_of(a: u64) -> u64 {
+        (a >> ALGO_SHIFT) & ((1 << (PHASE_SHIFT - ALGO_SHIFT)) - 1)
+    }
+
+    /// The phase tag of a packed collective payload.
+    pub fn phase_of(a: u64) -> u64 {
+        a >> PHASE_SHIFT
+    }
 }
 
 /// Span codes for [`EventKind::SpanBegin`] / [`EventKind::SpanEnd`].
@@ -481,6 +529,17 @@ mod tests {
             assert!(global_tracer().is_some());
         }
         assert!(global_tracer().is_none());
+    }
+
+    #[test]
+    fn coll_tags_round_trip_and_flat_is_bare_op() {
+        use super::coll;
+        // Flat whole-op payloads are the bare op code (golden stability).
+        assert_eq!(coll::tag(coll::ALLREDUCE, coll::ALGO_FLAT), coll::ALLREDUCE);
+        let a = coll::phase_tag(coll::BROADCAST, coll::ALGO_THREE_LEVEL, coll::PHASE_INTER);
+        assert_eq!(coll::op_of(a), coll::BROADCAST);
+        assert_eq!(coll::algo_of(a), coll::ALGO_THREE_LEVEL);
+        assert_eq!(coll::phase_of(a), coll::PHASE_INTER);
     }
 
     #[test]

@@ -46,8 +46,8 @@ mod shared;
 pub use elem::PgasElem;
 pub use lock::UpcLock;
 pub use runtime::{
-    in_subthread_context, set_subthread_context, ThreadSafety, Upc, UpcConfig, UpcJob,
-    UpcRuntime,
+    in_subthread_context, set_subthread_context, CollProvider, ThreadSafety, Upc, UpcConfig,
+    UpcJob, UpcRuntime, SCRATCH_WORDS,
 };
 pub use shared::SharedArray;
 

@@ -70,6 +70,41 @@ pub(crate) struct CostCounters {
     pub socket_bytes: HashMap<usize, u64>,
 }
 
+/// A pluggable implementation of the word-level collectives. `hupc-coll`
+/// installs its topology-aware hierarchical algorithms through this seam
+/// ([`UpcRuntime::set_coll_provider`]); with no provider installed the
+/// built-in flat algorithms run. Implementations must call the `*_flat`
+/// methods (never the delegating wrappers) for their flat path, or they
+/// recurse.
+pub trait CollProvider: Send + Sync {
+    /// See [`Upc::broadcast_words`].
+    fn broadcast_words(&self, upc: &Upc<'_>, root: usize, words: &mut [u64]);
+    /// Element-wise all-reduce of a word vector with a combining function
+    /// (associative + commutative). Scalar [`Upc::allreduce_words`] goes
+    /// through this with a 1-word slice.
+    fn allreduce_word_vec(
+        &self,
+        upc: &Upc<'_>,
+        vals: &mut [u64],
+        combine: &(dyn Fn(u64, u64) -> u64 + Sync),
+    );
+    /// See [`Upc::allgather_words`].
+    fn allgather_words(&self, upc: &Upc<'_>, mine: &[u64], out: &mut [u64]);
+    /// Word-level all-to-all: thread `me`'s source block for thread `j`
+    /// lives at `src_off + j*block_words`, and lands at
+    /// `dst_off + me*block_words` in `j`'s segment.
+    fn all_exchange_words(
+        &self,
+        upc: &Upc<'_>,
+        src_off: usize,
+        dst_off: usize,
+        block_words: usize,
+        blocking: bool,
+    );
+    /// Group-staged barrier (intra-group arrive, inter-leader sync, release).
+    fn staged_barrier(&self, upc: &Upc<'_>);
+}
+
 /// Shared runtime state for one UPC job.
 pub struct UpcRuntime {
     gasnet: Arc<Gasnet>,
@@ -84,10 +119,14 @@ pub struct UpcRuntime {
     /// Scratch region (word offset 0..SCRATCH_WORDS of every segment)
     /// reserved for collectives.
     pub(crate) scratch_off: usize,
+    /// Installed hierarchical-collectives provider (set once, pre-run).
+    coll: std::sync::OnceLock<Arc<dyn CollProvider>>,
 }
 
 /// Words reserved at the bottom of every segment for collective scratch.
-pub(crate) const SCRATCH_WORDS: usize = 256;
+/// Public so collective implementations outside this crate (`hupc-coll`) can
+/// size their pipeline chunks against the same ceiling.
+pub const SCRATCH_WORDS: usize = 256;
 
 impl UpcRuntime {
     pub fn gasnet(&self) -> &Arc<Gasnet> {
@@ -109,6 +148,26 @@ impl UpcRuntime {
             rt: Arc::clone(self),
             me,
         }
+    }
+
+    /// The collective scratch region every segment reserves: `(offset,
+    /// words)`. Collective implementations stage pipeline chunks here.
+    pub fn coll_scratch(&self) -> (usize, usize) {
+        (self.scratch_off, SCRATCH_WORDS)
+    }
+
+    /// Install a hierarchical-collectives provider (pre-run, once). Every
+    /// subsequent `Upc` collective call delegates to it; panics on a second
+    /// install (the provider owns pre-built teams tied to this job).
+    pub fn set_coll_provider(&self, p: Arc<dyn CollProvider>) {
+        if self.coll.set(p).is_err() {
+            panic!("collective provider already installed for this job");
+        }
+    }
+
+    /// The installed collective provider, if any.
+    pub fn coll_provider(&self) -> Option<&Arc<dyn CollProvider>> {
+        self.coll.get()
     }
 
     /// Allocate `words` per-thread symmetric words; returns the common
@@ -149,6 +208,7 @@ impl UpcJob {
             safety: cfg.safety,
             serial,
             scratch_off: 0,
+            coll: std::sync::OnceLock::new(),
         });
         UpcJob { sim, rt }
     }

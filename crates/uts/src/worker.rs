@@ -196,6 +196,9 @@ pub fn run_uts(cfg: UtsConfig) -> UtsResult {
         job.runtime(),
         GroupLevel::Node,
     ));
+    // Termination stats and the start barrier go through the hierarchical
+    // collective layer (group-staged allreduce/barrier on multi-node runs).
+    hupc_coll::CollDomain::install_auto(&job);
 
     let out: Arc<SimCell<UtsResult>> = Arc::new(SimCell::default());
     let out2 = Arc::clone(&out);
@@ -209,7 +212,7 @@ pub fn run_uts(cfg: UtsConfig) -> UtsResult {
         if me == 0 {
             local.push_back(cfg2.tree.root());
         }
-        upc.barrier();
+        upc.staged_barrier();
         let t0 = upc.now();
         let mut rng = Rng::new((me as u64) << 32 | 0xC0FFEE);
         let mut kids = Vec::new();

@@ -26,6 +26,10 @@ use hupc::uts::{run_uts, StealStrategy, UtsConfig};
 /// makes the golden interesting must survive it.
 const GOLDEN_RING: usize = 256;
 const GOLDEN_RING_UTS: usize = 2048;
+/// FT's epilogue (checksum + phase-maximum reductions) now runs through the
+/// staged collective provider, whose per-phase events would evict the FT
+/// spans from a 256-entry ring.
+const GOLDEN_RING_FT: usize = 1024;
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -108,7 +112,7 @@ fn golden_trace_uts() {
 
 #[test]
 fn golden_trace_ft() {
-    let jsonl = traced_jsonl(GOLDEN_RING, || {
+    let jsonl = traced_jsonl(GOLDEN_RING_FT, || {
         let r = run_ft_upc(FtConfig::test_custom(8, 8, 8, 1, 2, 2));
         assert!(r.total_seconds > 0.0);
     });
@@ -125,6 +129,28 @@ fn golden_trace_gups() {
     });
     assert!(jsonl.contains("\"k\":\"span_begin\""), "no GUPS spans traced");
     check_golden("gups_small.jsonl", &jsonl);
+}
+
+#[test]
+fn golden_trace_coll_allreduce() {
+    // A hierarchical allreduce on 2 nodes: the golden pins the CollBegin/
+    // CollEnd taxonomy (op | algo | phase payload packing) and the staged
+    // intra/inter phase structure of the provider.
+    let jsonl = traced_jsonl(GOLDEN_RING, || {
+        let job = UpcJob::new(UpcConfig::test_default(8, 2));
+        CollDomain::install_auto(&job);
+        job.run(|upc| {
+            let me = upc.mythread() as u64;
+            let mut v: Vec<u64> = (0..24).map(|i| me + i).collect();
+            upc.allreduce_word_vec(&mut v, &|a, b| a.wrapping_add(b));
+            assert_eq!(v[0], 28);
+            let s = upc.allreduce_sum_f64(me as f64);
+            assert_eq!(s, 28.0);
+        });
+    });
+    assert!(jsonl.contains("\"k\":\"coll_begin\""), "no coll events traced");
+    assert!(jsonl.contains("\"k\":\"coll_end\""), "unbalanced coll events");
+    check_golden("coll_allreduce_small.jsonl", &jsonl);
 }
 
 /// The chrome exporter must stay valid JSON with balanced span begin/ends
