@@ -1,0 +1,136 @@
+//! Schedule shrinking: reduce a failing decision prefix to a 1-minimal one.
+//!
+//! The prefix semantics make shrinking cheap: choice 0 *is* the kernel's
+//! default seq order, and decisions past the end of the prefix default to 0.
+//! So "remove a decision" = "set it to 0", and trailing zeros can be
+//! truncated without a run. The ddmin-style loop below drives every
+//! position to 0 (or to a smaller choice) while the violation kind keeps
+//! reproducing, then keeps the shortest failing truncation. The result is
+//! 1-minimal: no single decision can be zeroed, lowered or dropped without
+//! losing the failure.
+
+/// Shrink `failing` with at most `budget` calls to `fails` (which runs the
+/// scenario under the candidate prefix and reports whether the original
+/// violation kind reproduces). `failing` itself is assumed to fail.
+pub fn shrink(
+    mut failing: Vec<u32>,
+    budget: usize,
+    fails: &mut dyn FnMut(&[u32]) -> bool,
+) -> Vec<u32> {
+    let mut left = budget;
+    trim_zeros(&mut failing);
+
+    // Cheap first cut: binary-search toward the shortest failing
+    // truncation. Not monotone in general, so this is opportunistic — the
+    // fixpoint loop below catches whatever it misses.
+    let mut lo = 0usize;
+    while left > 0 && failing.len() > 1 {
+        let mid = (lo + failing.len()) / 2;
+        if mid <= lo || mid >= failing.len() {
+            break;
+        }
+        let mut cand = failing[..mid].to_vec();
+        trim_zeros(&mut cand);
+        left -= 1;
+        if fails(&cand) {
+            failing = cand;
+            lo = 0;
+        } else {
+            lo = mid;
+        }
+    }
+
+    // Fixpoint: zero individual decisions, then lower remaining choices.
+    loop {
+        let mut changed = false;
+        for i in 0..failing.len() {
+            if failing[i] == 0 || left == 0 {
+                continue;
+            }
+            let mut cand = failing.clone();
+            cand[i] = 0;
+            trim_zeros(&mut cand);
+            left -= 1;
+            if fails(&cand) {
+                failing = cand;
+                changed = true;
+            }
+        }
+        for i in 0..failing.len() {
+            if left == 0 {
+                break;
+            }
+            // Try each smaller nonzero choice, lowest first.
+            for c in 1..failing[i] {
+                if left == 0 {
+                    break;
+                }
+                let mut cand = failing.clone();
+                cand[i] = c;
+                left -= 1;
+                if fails(&cand) {
+                    failing = cand;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        if !changed || left == 0 {
+            break;
+        }
+    }
+    trim_zeros(&mut failing);
+    failing
+}
+
+fn trim_zeros(p: &mut Vec<u32>) {
+    while p.last() == Some(&0) {
+        p.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Failure iff position 3 is >= 1: shrinks to [0,0,0,1].
+    #[test]
+    fn shrinks_to_single_relevant_decision() {
+        let mut fails = |p: &[u32]| p.get(3).copied().unwrap_or(0) >= 1;
+        let got = shrink(vec![2, 1, 0, 2, 1, 1], 200, &mut fails);
+        assert_eq!(got, vec![0, 0, 0, 1]);
+    }
+
+    /// Already-minimal input survives unchanged.
+    #[test]
+    fn minimal_input_is_stable() {
+        let mut fails = |p: &[u32]| p == [1];
+        let got = shrink(vec![1], 200, &mut fails);
+        assert_eq!(got, vec![1]);
+    }
+
+    /// Trailing zeros cost nothing and always go.
+    #[test]
+    fn trailing_zeros_are_trimmed() {
+        let mut fails = |p: &[u32]| p.first().copied().unwrap_or(0) == 1;
+        let got = shrink(vec![1, 0, 0, 0], 200, &mut fails);
+        assert_eq!(got, vec![1]);
+    }
+
+    /// Two jointly-necessary decisions both survive.
+    #[test]
+    fn keeps_jointly_necessary_pair() {
+        let mut fails =
+            |p: &[u32]| p.first() == Some(&1) && p.get(2) == Some(&2);
+        let got = shrink(vec![1, 1, 2, 1], 200, &mut fails);
+        assert_eq!(got, vec![1, 0, 2]);
+    }
+
+    /// A zero budget still returns a (zero-trimmed) failing prefix.
+    #[test]
+    fn zero_budget_is_safe() {
+        let mut fails = |_: &[u32]| true;
+        let got = shrink(vec![1, 2, 0], 0, &mut fails);
+        assert_eq!(got, vec![1, 2]);
+    }
+}

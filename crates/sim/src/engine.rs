@@ -16,8 +16,6 @@ use crate::time::Time;
 struct Shared {
     kernel: Mutex<Kernel>,
     engine_handoff: Handoff,
-    /// Set when an actor panicked; the scheduler surfaces it.
-    panic_note: Mutex<Option<(ActorId, String)>>,
 }
 
 /// Poison-tolerant lock: the engine's one deliberate poisoning policy.
@@ -154,7 +152,6 @@ impl Simulation {
             shared: Arc::new(Shared {
                 kernel: Mutex::new(Kernel::new()),
                 engine_handoff: Handoff::new(),
-                panic_note: Mutex::new(None),
             }),
             threads: Vec::new(),
             ran: false,
@@ -184,6 +181,12 @@ impl Simulation {
     /// [`Kernel::set_fast_path`]). On by default.
     pub fn set_fast_path(&self, on: bool) {
         self.kernel().set_fast_path(on);
+    }
+
+    /// Install a schedule-exploration tie-break policy (see
+    /// [`crate::SchedulePolicy`]). Must be set before [`Simulation::run`].
+    pub fn set_schedule_policy(&self, p: Option<Box<dyn crate::SchedulePolicy>>) {
+        self.kernel().set_schedule_policy(p);
     }
 
     /// Attach a structured tracer (see `hupc-trace`), overriding any
@@ -278,8 +281,16 @@ impl Simulation {
                     };
                     handoff.signal();
                     self.shared.engine_handoff.wait();
-                    if let Some((id, message)) = relock(&self.shared.panic_note).take() {
-                        let name = self.kernel().actors[id].name.clone();
+                    // Panic payloads travel inside the kernel (recorded by
+                    // the panicking actor's thread under the kernel lock),
+                    // so propagation is a typed field handoff rather than a
+                    // side effect of tolerating a poisoned auxiliary mutex.
+                    let note = {
+                        let mut k = self.kernel();
+                        k.take_panic_note()
+                            .map(|(id, message)| (id, k.actors[id].name.clone(), message))
+                    };
+                    if let Some((id, name, message)) = note {
                         return Err(SimError::ActorPanic {
                             actor: id,
                             name,
@@ -330,6 +341,7 @@ fn spawn_actor(
         let mut k = relock(&shared.kernel);
         let exit = k.new_completion();
         let id = k.actors.len();
+        let spawned_at = k.now();
         k.actors.push(ActorMeta {
             name: name.clone(),
             status: ActorStatus::Blocked,
@@ -338,6 +350,8 @@ fn spawn_actor(
             blocked_on: BlockKind::Start,
             wake_epoch: 0,
             timed_out: false,
+            blocked_since: spawned_at,
+            recent: std::collections::VecDeque::new(),
         });
         k.live_actors += 1;
         let start = start_time.max(k.now());
@@ -374,9 +388,13 @@ fn spawn_actor(
             }
             if let Err(p) = result {
                 let msg = panic_message(p.as_ref());
-                *relock(&shared2.panic_note) = Some((id, msg));
-                // Mark finished so the scheduler does not hang.
+                // One kernel transaction: record the typed panic note and
+                // mark the actor finished so the scheduler does not hang.
+                // `relock` still matters here — a panic inside a
+                // `with_kernel` closure poisons the kernel mutex itself —
+                // but the note is now a kernel field, not a side channel.
                 let mut k = relock(&shared2.kernel);
+                k.note_panic(id, msg);
                 k.actors[id].status = ActorStatus::Finished;
                 k.live_actors -= 1;
                 drop(k);
@@ -1102,6 +1120,145 @@ mod tests {
         }
         let rendered = err.to_string();
         assert!(rendered.contains("simulation deadlock at t=1"), "{rendered}");
+    }
+
+    #[test]
+    fn schedule_policy_reorders_ties_only() {
+        use crate::kernel::{ReadyEvent, SchedulePolicy};
+
+        /// Always dispatch the *last* member of a tie (reverse of default).
+        struct PickLast(u64);
+        impl SchedulePolicy for PickLast {
+            fn choose(&mut self, ready: &[ReadyEvent]) -> usize {
+                assert!(ready.len() > 1, "policy consulted without a tie");
+                assert!(ready.windows(2).all(|w| w[0].seq < w[1].seq));
+                self.0 += 1;
+                ready.len() - 1
+            }
+        }
+
+        fn run_once(policy: bool) -> (Vec<u64>, Time) {
+            let order = Arc::new(Mutex::new(Vec::new()));
+            let mut sim = Simulation::new();
+            if policy {
+                sim.set_schedule_policy(Some(Box::new(PickLast(0))));
+            }
+            for id in 0..3u64 {
+                let order = Arc::clone(&order);
+                sim.spawn(format!("a{id}"), move |ctx| {
+                    // The only tie is the three initial wakes at t=0; record
+                    // dispatch order, then advance distinct amounts.
+                    order.lock().unwrap().push(id);
+                    ctx.advance(time::us(10 + id));
+                });
+            }
+            let stats = sim.run();
+            let order = order.lock().unwrap().clone();
+            (order, stats.end_time)
+        }
+
+        let (default_order, t0) = run_once(false);
+        let (reversed, t1) = run_once(true);
+        assert_eq!(default_order, vec![0, 1, 2]);
+        // Ties reorder; virtual end time is untouched (same instants).
+        assert_eq!(reversed, vec![2, 1, 0]);
+        assert_eq!(t0, t1);
+    }
+
+    #[test]
+    fn schedule_policy_is_not_consulted_without_ties() {
+        use crate::kernel::{ReadyEvent, SchedulePolicy};
+        struct MustNotRun;
+        impl SchedulePolicy for MustNotRun {
+            fn choose(&mut self, _ready: &[ReadyEvent]) -> usize {
+                panic!("no ties exist in this program");
+            }
+        }
+        // Stagger every start so no two events ever share an instant: the
+        // parent spawns children at distinct times and each child advances a
+        // distinct amount.
+        let mut sim = Simulation::new();
+        sim.set_schedule_policy(Some(Box::new(MustNotRun)));
+        sim.spawn("parent", |ctx| {
+            for id in 0..3u64 {
+                ctx.advance(time::us(1));
+                ctx.spawn(format!("a{id}"), move |cctx| {
+                    cctx.advance(time::us(100 + 10 * id));
+                });
+            }
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn deadlock_report_includes_activity_tail() {
+        let mut sim = Simulation::new();
+        let bar = sim.kernel().new_barrier(2);
+        sim.spawn("stuck", move |ctx| {
+            ctx.advance(time::us(3));
+            ctx.barrier_wait(bar); // second party never arrives
+        });
+        let err = sim.run_result().unwrap_err();
+        let SimError::Deadlock { wait_graph, .. } = &err else {
+            panic!("expected Deadlock, got {err}");
+        };
+        assert_eq!(wait_graph.edges.len(), 1);
+        let e = &wait_graph.edges[0];
+        // Typed fields: park time plus the compact activity tail.
+        assert_eq!(e.blocked_since, time::us(3));
+        assert_eq!(
+            e.recent,
+            vec![
+                "sched@0ns->0ns".to_string(),     // spawn schedules first wake
+                "bypass@3.00us".to_string(),      // lone advance takes fast path
+                "park@3.00us(barrier#0)".to_string(),
+            ]
+        );
+        // Rendered report pins the format.
+        let text = wait_graph.to_string();
+        assert!(
+            text.contains("blocked since t=3.00us; recent: [sched@0ns->0ns, bypass@3.00us, park@3.00us(barrier#0)]"),
+            "unexpected report format:\n{text}"
+        );
+    }
+
+    #[test]
+    fn panic_inside_with_kernel_is_reported_typed() {
+        // A panic while *holding the kernel lock* poisons the kernel mutex;
+        // the typed note must still come through run_result.
+        let mut sim = Simulation::new();
+        sim.spawn("locked-boom", |ctx| {
+            ctx.advance(1);
+            ctx.with_kernel(|_k| panic!("boom under lock"));
+        });
+        match sim.run_result().unwrap_err() {
+            SimError::ActorPanic { actor, name, message } => {
+                assert_eq!(actor, 0);
+                assert_eq!(name, "locked-boom");
+                assert!(message.contains("boom under lock"), "{message}");
+            }
+            other => panic!("expected ActorPanic, got {other}"),
+        }
+    }
+
+    #[test]
+    fn first_of_concurrent_panics_wins() {
+        // Two actors panic at the same virtual time; the first dispatched
+        // panic is the one reported, and the run still tears down cleanly.
+        let mut sim = Simulation::new();
+        for id in 0..2u64 {
+            sim.spawn(format!("boom{id}"), move |ctx| {
+                ctx.advance(time::us(5));
+                panic!("kaboom {id}");
+            });
+        }
+        match sim.run_result().unwrap_err() {
+            SimError::ActorPanic { actor, message, .. } => {
+                assert_eq!(actor, 0);
+                assert!(message.contains("kaboom 0"), "{message}");
+            }
+            other => panic!("expected ActorPanic, got {other}"),
+        }
     }
 
     #[test]

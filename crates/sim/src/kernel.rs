@@ -77,6 +77,51 @@ pub(crate) struct Event {
     pub kind: EventKind,
 }
 
+/// One entry of the set of events tied at the earliest pending virtual time,
+/// as shown to a [`SchedulePolicy`]. Entries are sorted by sequence number;
+/// index 0 is what the default (policy-free) scheduler would dispatch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadyEvent {
+    /// The shared virtual time of the tie.
+    pub time: Time,
+    /// Queue sequence number (smaller = scheduled earlier).
+    pub seq: u64,
+    pub kind: ReadyEventKind,
+}
+
+/// Public mirror of the internal event kinds, for schedule policies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadyEventKind {
+    /// An actor resumes.
+    Wake { actor: usize },
+    /// A completion fires (waking its registered waiters).
+    Complete { completion: usize },
+    /// A timed-wait deadline (may be stale by the time it is processed).
+    Timeout { actor: usize },
+}
+
+/// The schedule-exploration seam: a tie-break hook consulted whenever two or
+/// more events are pending at the same earliest virtual time.
+///
+/// Events at *different* virtual times are causally ordered and never
+/// reorderable; events tied at one instant model operations that are truly
+/// concurrent on a real machine, where hardware would order them arbitrarily.
+/// The default scheduler breaks ties by sequence number (a fixed, legal
+/// ordering). A `SchedulePolicy` picks any other member of the tie instead,
+/// which lets an explorer (see the `hupc-check` crate) enumerate or randomly
+/// sample interleavings while keeping each individual run fully
+/// deterministic: the same policy decisions always yield the same run.
+///
+/// The scheduler-bypass fast path is unaffected: bypass requires a wake
+/// *strictly* earlier than every pending event, so ties — the only points a
+/// policy is consulted — never take it, and explored schedules are identical
+/// with the fast path on or off.
+pub trait SchedulePolicy: Send {
+    /// Choose which tied event dispatches next. `ready` has at least two
+    /// entries, sorted by sequence number. Out-of-range returns are clamped.
+    fn choose(&mut self, ready: &[ReadyEvent]) -> usize;
+}
+
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.time, self.seq).cmp(&(other.time, other.seq))
@@ -144,6 +189,71 @@ pub(crate) struct ActorMeta {
     pub wake_epoch: u64,
     /// Set when the last wake was a timed-wait expiry (consumed by `Ctx`).
     pub timed_out: bool,
+    /// Virtual time of the most recent `mark_blocked` (for deadlock reports).
+    pub blocked_since: Time,
+    /// Ring of the actor's last few scheduler interactions, kept so a
+    /// deadlock report can show what each stuck actor was doing just before
+    /// it parked for good. Bounded at [`RECENT_CAP`]; no allocation per push
+    /// once warm.
+    pub recent: VecDeque<RecentOp>,
+}
+
+/// How many trailing scheduler interactions are retained per actor for the
+/// deadlock report's activity tail.
+pub(crate) const RECENT_CAP: usize = 4;
+
+/// One retained scheduler interaction of an actor (see [`ActorMeta::recent`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum RecentOp {
+    /// A wake was scheduled at `.1` while the clock stood at `.0`.
+    Scheduled(Time, Time),
+    /// The actor resumed inline via the scheduler-bypass fast path.
+    Bypassed(Time),
+    /// The actor parked, blocked on the given primitive.
+    Parked(Time, BlockKind),
+}
+
+impl RecentOp {
+    /// Compact single-token rendering (`sched@0ns->5ns`, `park@5ns(barrier#0)`).
+    fn render(&self) -> String {
+        fn block_tag(on: BlockKind) -> String {
+            match on {
+                BlockKind::Start => "start".into(),
+                BlockKind::Advance => "advance".into(),
+                BlockKind::Resource(r) => format!("resource#{}", r.0),
+                BlockKind::Completion(c) => format!("completion#{}", c.0),
+                BlockKind::Cond(c) => format!("cond#{}", c.0),
+                BlockKind::Barrier(b) => format!("barrier#{}", b.0),
+                BlockKind::Mutex(m) => format!("mutex#{}", m.0),
+            }
+        }
+        match self {
+            RecentOp::Scheduled(at, wake) => format!(
+                "sched@{}->{}",
+                crate::time::format(*at),
+                crate::time::format(*wake)
+            ),
+            RecentOp::Bypassed(t) => format!("bypass@{}", crate::time::format(*t)),
+            RecentOp::Parked(t, on) => {
+                format!("park@{}({})", crate::time::format(*t), block_tag(*on))
+            }
+        }
+    }
+}
+
+impl ActorMeta {
+    /// Push into the bounded recent-activity ring. Consecutive duplicates
+    /// collapse (blocking simcalls mark the park twice: once registering the
+    /// wait, once in the generic block path).
+    fn note(&mut self, op: RecentOp) {
+        if self.recent.back() == Some(&op) {
+            return;
+        }
+        if self.recent.len() == RECENT_CAP {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(op);
+    }
 }
 
 #[derive(Debug)]
@@ -232,6 +342,15 @@ pub struct Kernel {
     pub(crate) heap_ops: u64,
     /// Optional full event log for trace-equality tests.
     event_log: Option<Vec<TraceEvent>>,
+    /// Optional tie-break hook for schedule exploration (see
+    /// [`SchedulePolicy`]). `None` (the default) keeps the plain
+    /// sequence-order pop path with zero overhead.
+    policy: Option<Box<dyn SchedulePolicy>>,
+    /// First actor panic of the run: `(actor, payload rendering)`. Set by
+    /// the panicking actor's thread under the kernel lock and drained by the
+    /// scheduler loop — the typed channel behind
+    /// [`crate::SimError::ActorPanic`].
+    panic_note: Option<(ActorId, String)>,
     /// Structured virtual-time tracer (hupc-trace), if one is attached.
     /// Emitting never touches `now`, the queue, or any seq the simulation
     /// observes — tracing is observationally free by construction.
@@ -260,9 +379,37 @@ impl Kernel {
             handoffs: 0,
             heap_ops: 0,
             event_log: None,
+            policy: None,
+            panic_note: None,
             #[cfg(feature = "trace")]
             tracer: None,
         }
+    }
+
+    /// Install (or remove) a schedule-exploration tie-break policy. With a
+    /// policy installed, every instant at which two or more events are
+    /// pending becomes a decision point: the policy picks which one
+    /// dispatches. Without one, ties break by sequence number as always.
+    pub fn set_schedule_policy(&mut self, p: Option<Box<dyn SchedulePolicy>>) {
+        self.policy = p;
+    }
+
+    /// Whether a schedule policy is installed.
+    pub fn has_schedule_policy(&self) -> bool {
+        self.policy.is_some()
+    }
+
+    /// Record the first actor panic of the run (later ones are dropped; the
+    /// run is already doomed and the first failure is the one to report).
+    pub(crate) fn note_panic(&mut self, actor: ActorId, message: String) {
+        if self.panic_note.is_none() {
+            self.panic_note = Some((actor, message));
+        }
+    }
+
+    /// Drain the pending panic note, if any.
+    pub(crate) fn take_panic_note(&mut self) -> Option<(ActorId, String)> {
+        self.panic_note.take()
     }
 
     /// Attach (or detach) a structured tracer. All kernel-level events
@@ -379,6 +526,9 @@ impl Kernel {
     }
 
     pub(crate) fn pop_event(&mut self) -> Option<Event> {
+        if self.policy.is_some() {
+            return self.pop_event_policy();
+        }
         // The global minimum is the smaller of the two fronts by
         // (time, seq). Far events tying the bucket's time were pushed before
         // `now` reached it, so they carry smaller sequence numbers and the
@@ -394,6 +544,65 @@ impl Kernel {
         } else {
             self.near.pop_front()
         }
+    }
+
+    /// Policy-mediated pop: gather every event tied at the earliest pending
+    /// time, let the [`SchedulePolicy`] pick one, and reinsert the rest with
+    /// their original sequence numbers (so the un-chosen members of the tie
+    /// keep their identity for later decision points).
+    fn pop_event_policy(&mut self) -> Option<Event> {
+        let t = self.earliest_pending()?;
+        let mut ready: Vec<Event> = Vec::new();
+        // Far entries tying t carry smaller seqs than any near entry at t
+        // (they were pushed while `now` was still behind t), so draining far
+        // first then near yields seq-sorted order without a sort.
+        while self.far.peek().is_some_and(|Reverse(f)| f.time == t) {
+            self.heap_ops += 1;
+            ready.push(self.far.pop().map(|Reverse(e)| e).unwrap());
+        }
+        // Near entries all share `time == now`; they tie only when t == now.
+        while self.near.front().is_some_and(|n| n.time == t) {
+            ready.push(self.near.pop_front().unwrap());
+        }
+        debug_assert!(ready.windows(2).all(|w| w[0].seq < w[1].seq));
+        let choice = if ready.len() > 1 {
+            let view: Vec<ReadyEvent> = ready
+                .iter()
+                .map(|e| ReadyEvent {
+                    time: e.time,
+                    seq: e.seq,
+                    kind: match e.kind {
+                        EventKind::Wake(a) => ReadyEventKind::Wake { actor: a },
+                        EventKind::Complete(c) => {
+                            ReadyEventKind::Complete { completion: c.0 }
+                        }
+                        EventKind::Timeout(a, _) => ReadyEventKind::Timeout { actor: a },
+                    },
+                })
+                .collect();
+            // Temporarily lift the policy out to sidestep the simultaneous
+            // &mut self borrow; `choose` must not touch the kernel anyway.
+            let mut policy = self.policy.take().expect("checked in pop_event");
+            let c = policy.choose(&view).min(ready.len() - 1);
+            self.policy = Some(policy);
+            c
+        } else {
+            0
+        };
+        let ev = ready.remove(choice);
+        for e in ready {
+            // `now` has not advanced yet (the engine calls set_now after the
+            // pop), so ties at `now` go back to the near bucket — which we
+            // just fully drained, keeping its FIFO-by-seq invariant — and
+            // future-time ties go back to the heap.
+            if e.time == self.now {
+                self.near.push_back(e);
+            } else {
+                self.heap_ops += 1;
+                self.far.push(Reverse(e));
+            }
+        }
+        Some(ev)
     }
 
     /// Time of the earliest pending event, if any.
@@ -436,6 +645,7 @@ impl Kernel {
         let seq = self.seq;
         self.seq += 1;
         self.actors[actor].wake_epoch += 1; // voids outstanding timeouts
+        self.actors[actor].note(RecentOp::Bypassed(t));
         if self.trace {
             eprintln!(
                 "[sim t={}] Wake({actor}) [bypass]",
@@ -460,6 +670,8 @@ impl Kernel {
         );
         self.actors[actor].status = ActorStatus::Runnable;
         self.actors[actor].wake_epoch += 1; // voids outstanding timeouts
+        let now = self.now;
+        self.actors[actor].note(RecentOp::Scheduled(now, time));
         #[cfg(feature = "trace")]
         self.temit(self.now, actor, hupc_trace::EventKind::Schedule, time, 0);
         self.push_event(time, EventKind::Wake(actor));
@@ -468,6 +680,9 @@ impl Kernel {
     pub(crate) fn mark_blocked(&mut self, actor: ActorId, on: BlockKind) {
         self.actors[actor].status = ActorStatus::Blocked;
         self.actors[actor].blocked_on = on;
+        let now = self.now;
+        self.actors[actor].blocked_since = now;
+        self.actors[actor].note(RecentOp::Parked(now, on));
         #[cfg(feature = "trace")]
         self.temit(self.now, actor, hupc_trace::EventKind::Park, park_code(on), 0);
     }
@@ -778,6 +993,8 @@ impl Kernel {
                     actor: i,
                     actor_name: a.name.clone(),
                     target,
+                    blocked_since: a.blocked_since,
+                    recent: a.recent.iter().map(RecentOp::render).collect(),
                 }
             })
             .collect();
@@ -816,6 +1033,11 @@ pub struct WaitEdge {
     pub actor: usize,
     pub actor_name: String,
     pub target: WaitTarget,
+    /// Virtual time at which the actor parked on `target`.
+    pub blocked_since: Time,
+    /// The actor's last few scheduler interactions (oldest first), rendered
+    /// as compact tokens — the activity tail leading up to the park.
+    pub recent: Vec<String>,
 }
 
 /// The full set of blocked actors at the moment the event queue drained —
@@ -871,6 +1093,12 @@ impl std::fmt::Display for WaitGraph {
                     None => writeln!(f, "mutex #{id} (unowned, {queue_len} queued)")?,
                 },
             }
+            writeln!(
+                f,
+                "    blocked since t={}; recent: [{}]",
+                crate::time::format(e.blocked_since),
+                e.recent.join(", ")
+            )?;
         }
         Ok(())
     }
@@ -982,6 +1210,8 @@ mod tests {
             blocked_on: BlockKind::Start,
             wake_epoch: 3,
             timed_out: false,
+            blocked_since: 0,
+            recent: VecDeque::new(),
         });
         k.bypass_resume(0, 42);
         assert_eq!(k.now(), 42);

@@ -63,7 +63,8 @@ pub use engine::{
 };
 pub use kernel::{
     fast_path_default, set_fast_path_default, BarrierId, CompletionId, CondId, Kernel,
-    MutexId, ResourceId, TraceEvent, TraceKind, WaitEdge, WaitGraph, WaitTarget,
+    MutexId, ReadyEvent, ReadyEventKind, ResourceId, SchedulePolicy, TraceEvent,
+    TraceKind, WaitEdge, WaitGraph, WaitTarget,
 };
 pub use queue::SimQueue;
 pub use time::Time;

@@ -245,7 +245,22 @@ impl UpcJob {
     }
 
     /// Run the SPMD body on every UPC thread; returns when all finish.
-    pub fn run<F>(mut self, body: F) -> SimulationStats
+    /// Panics (with diagnostics) on deadlock or actor panic; use
+    /// [`UpcJob::run_result`] to observe those failures as values.
+    pub fn run<F>(self, body: F) -> SimulationStats
+    where
+        F: for<'a> Fn(Upc<'a>) + Send + Sync + 'static,
+    {
+        self.run_result(body).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`UpcJob::run`] but returns the structured [`SimResult`]:
+    /// deadlocks carry the wait graph (with each stuck thread's recent
+    /// activity) and actor panics the typed payload, instead of panicking.
+    /// This is what the `hupc-check` schedule explorer drives — a perturbed
+    /// interleaving that deadlocks must surface as a value, not abort the
+    /// exploration process.
+    pub fn run_result<F>(mut self, body: F) -> hupc_sim::SimResult
     where
         F: for<'a> Fn(Upc<'a>) + Send + Sync + 'static,
     {
@@ -259,7 +274,7 @@ impl UpcJob {
                 body(upc);
             });
         }
-        self.sim.run()
+        self.sim.run_result()
     }
 
     /// Like [`UpcJob::run`] but also returns a value from thread 0 via the

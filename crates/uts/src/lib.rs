@@ -23,4 +23,4 @@ mod worker;
 pub use sha1::{sha1, sha1_child, sha1_children, ChildHasher, Digest};
 pub use stealstack::StealStacks;
 pub use tree::{sequential_traverse, Node, TreeParams};
-pub use worker::{run_uts, StealStrategy, UtsConfig, UtsResult};
+pub use worker::{run_uts, run_uts_prepared, StealStrategy, UtsConfig, UtsResult};

@@ -171,6 +171,18 @@ impl Rng {
 /// Run the parallel UTS; returns aggregated results (identical
 /// `total_nodes` to [`crate::tree::sequential_traverse`] by construction).
 pub fn run_uts(cfg: UtsConfig) -> UtsResult {
+    run_uts_prepared(cfg, |_| {}).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Like [`run_uts`], but calls `prepare` on the simulation kernel before
+/// spawning the UPC threads (for installing a schedule-exploration policy or
+/// an event log — see the `hupc-check` crate) and returns failures as typed
+/// values: a perturbed interleaving that deadlocks or panics becomes an
+/// `Err(SimError)` instead of aborting the caller.
+pub fn run_uts_prepared(
+    cfg: UtsConfig,
+    prepare: impl FnOnce(&mut hupc_sim::Kernel),
+) -> Result<UtsResult, hupc_sim::SimError> {
     let job = UpcJob::new(UpcConfig {
         gasnet: GasnetConfig {
             machine: cfg.machine.clone(),
@@ -199,13 +211,14 @@ pub fn run_uts(cfg: UtsConfig) -> UtsResult {
     // Termination stats and the start barrier go through the hierarchical
     // collective layer (group-staged allreduce/barrier on multi-node runs).
     hupc_coll::CollDomain::install_auto(&job);
+    prepare(&mut job.kernel());
 
     let out: Arc<SimCell<UtsResult>> = Arc::new(SimCell::default());
     let out2 = Arc::clone(&out);
     let cfg = Arc::new(cfg);
     let cfg2 = Arc::clone(&cfg);
 
-    job.run(move |upc| {
+    job.run_result(move |upc| {
         let me = upc.mythread();
         let mut stats = Stats::default();
         let mut local: VecDeque<Node> = VecDeque::new();
@@ -295,8 +308,8 @@ pub fn run_uts(cfg: UtsConfig) -> UtsResult {
                 }
             });
         }
-    });
-    Arc::try_unwrap(out).expect("result still shared").into_inner()
+    })?;
+    Ok(Arc::try_unwrap(out).expect("result still shared").into_inner())
 }
 
 /// Process up to `batch` nodes depth-first; charge their compute once.
