@@ -3,7 +3,8 @@
 //!
 //! Always writes `BENCH_simcore.json` in the working directory. With
 //! `--check <baseline.json>` the run fails (exit 1) when simcall
-//! throughput fell below half the baseline's — the CI perf-smoke gate.
+//! throughput fell below half the baseline's, or when the scheduler
+//! handoff latency more than doubled — the CI perf-smoke gate.
 
 fn main() {
     let args = hupc_bench::parse_args();
@@ -12,8 +13,11 @@ fn main() {
     let baseline = args.check.as_ref().map(|p| {
         let s = std::fs::read_to_string(p)
             .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", p.display()));
-        hupc_bench::exp::simcore::json_number(&s, "simcalls_per_sec_fast")
-            .unwrap_or_else(|| panic!("no simcalls_per_sec_fast in {}", p.display()))
+        let tput = hupc_bench::exp::simcore::json_number(&s, "simcalls_per_sec_fast")
+            .unwrap_or_else(|| panic!("no simcalls_per_sec_fast in {}", p.display()));
+        let hop = hupc_bench::exp::simcore::json_number(&s, "handoff_ns")
+            .unwrap_or_else(|| panic!("no handoff_ns in {}", p.display()));
+        (tput, hop)
     });
 
     let (tables, metrics) = hupc_bench::exp::simcore::run(args.quick);
@@ -23,15 +27,30 @@ fn main() {
         .expect("cannot write BENCH_simcore.json");
     eprintln!("[wrote BENCH_simcore.json]");
 
-    if let Some(base) = baseline {
-        let now = metrics.simcalls_per_sec_fast;
-        if now < base / 2.0 {
+    if let Some((base_tput, base_hop)) = baseline {
+        let mut failed = false;
+        let tput = metrics.simcalls_per_sec_fast;
+        if tput < base_tput / 2.0 {
             eprintln!(
-                "PERF REGRESSION: simcall throughput {now:.0}/s is less than half \
-                 the baseline {base:.0}/s"
+                "PERF REGRESSION: simcall throughput {tput:.0}/s is less than half \
+                 the baseline {base_tput:.0}/s"
             );
+            failed = true;
+        }
+        let hop = metrics.handoff_ns;
+        if hop > base_hop * 2.0 {
+            eprintln!(
+                "PERF REGRESSION: handoff latency {hop:.0}ns/hop is more than double \
+                 the baseline {base_hop:.0}ns/hop"
+            );
+            failed = true;
+        }
+        if failed {
             std::process::exit(1);
         }
-        eprintln!("[perf check ok: {now:.0}/s vs baseline {base:.0}/s]");
+        eprintln!(
+            "[perf check ok: {tput:.0} simcalls/s (baseline {base_tput:.0}), \
+             {hop:.0}ns/hop (baseline {base_hop:.0})]"
+        );
     }
 }

@@ -13,16 +13,23 @@
 //! 3. **UTS end-to-end** — the thesis Fig 3.3 workload (quick: a small
 //!    tree), fast path on vs off, showing the bypass survives contact with
 //!    a real application's mix of simcalls.
+//! 4. **actor scale** — the coroutine-core headline: a flat spawn storm
+//!    that registers a million actors (spawn rate + max live actor count)
+//!    and a million-actor UTS-style dynamic spawn tree, one actor per tree
+//!    node, that must complete on a default CI runner. Both run at the full
+//!    million even under `--quick`; lazy context creation and the
+//!    finished-stack pool are what make that cheap.
 //!
 //! The binary also writes `BENCH_simcore.json` and, with `--check <path>`,
-//! fails when simcall throughput regressed more than 2x against a
-//! previously committed baseline.
+//! fails when simcall throughput or handoff latency regressed more than 2x
+//! against a previously committed baseline.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use hupc::net::Conduit;
-use hupc::sim::{set_fast_path_default, time, SimQueue, Simulation};
+use hupc::sim::{set_fast_path_default, time, ActorBackend, SimQueue, Simulation};
 use hupc::uts::{run_uts, StealStrategy, UtsConfig};
 
 use crate::Table;
@@ -37,6 +44,10 @@ pub struct SimcoreMetrics {
     pub uts_host_s_fast: f64,
     pub uts_host_s_slow: f64,
     pub uts_speedup: f64,
+    pub spawn_rate_per_s: f64,
+    pub max_actors: f64,
+    pub tree_actors: f64,
+    pub tree_host_s: f64,
 }
 
 impl SimcoreMetrics {
@@ -46,7 +57,9 @@ impl SimcoreMetrics {
             "{{\n  \"simcalls_per_sec_fast\": {:.0},\n  \"simcalls_per_sec_slow\": {:.0},\n  \
              \"simcall_speedup\": {:.2},\n  \"handoff_ns\": {:.0},\n  \
              \"uts_host_s_fast\": {:.3},\n  \"uts_host_s_slow\": {:.3},\n  \
-             \"uts_speedup\": {:.2}\n}}\n",
+             \"uts_speedup\": {:.2},\n  \"spawn_rate_per_s\": {:.0},\n  \
+             \"max_actors\": {:.0},\n  \"tree_actors\": {:.0},\n  \
+             \"tree_host_s\": {:.3}\n}}\n",
             self.simcalls_per_sec_fast,
             self.simcalls_per_sec_slow,
             self.simcall_speedup,
@@ -54,6 +67,10 @@ impl SimcoreMetrics {
             self.uts_host_s_fast,
             self.uts_host_s_slow,
             self.uts_speedup,
+            self.spawn_rate_per_s,
+            self.max_actors,
+            self.tree_actors,
+            self.tree_host_s,
         )
     }
 }
@@ -129,6 +146,69 @@ fn uts_host_seconds(quick: bool, fast: bool) -> (f64, f64) {
     (host, r.seconds)
 }
 
+/// Flat spawn storm: register `n` trivial actors up front, then run them
+/// all to completion. Registration is cheap by design (actor meta + one
+/// wake event; no stack until first dispatch), so all `n` are live at once
+/// when the run starts — this is the max-actor-count probe. Returns
+/// (registrations/s, run host seconds).
+fn spawn_storm(n: u64) -> (f64, f64) {
+    let mut sim = Simulation::new();
+    // The scale probes measure the coroutine core; a million OS threads
+    // would exhaust the host whatever the build's default backend is.
+    sim.set_actor_backend(ActorBackend::Coroutine);
+    sim.set_stack_size(16 * 1024);
+    let t0 = Instant::now();
+    for i in 0..n {
+        sim.spawn(format!("s{i}"), move |ctx| ctx.advance(time::ns(1 + (i & 7))));
+    }
+    let spawn_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let stats = sim.run();
+    let run_s = t1.elapsed().as_secs_f64();
+    assert_eq!(stats.actors as u64, n, "storm lost actors");
+    (n as f64 / spawn_s, run_s)
+}
+
+/// Million-actor UTS-style tree: one actor per tree node, children spawned
+/// dynamically from running actors with a deterministic 2-or-3 branching
+/// factor, capped by a shared budget at exactly `total` nodes. Parents
+/// don't join — a finished node's stack goes back to the pool, so live
+/// stacks track the dispatch frontier, not the tree size. Returns host
+/// seconds for the whole simulation.
+fn actor_tree(total: u64) -> f64 {
+    fn node(ctx: &hupc::sim::Ctx, id: u64, budget: &Arc<AtomicU64>, seen: &Arc<AtomicU64>) {
+        seen.fetch_add(1, Ordering::Relaxed);
+        // splitmix-style hash: deterministic per-node work and branching.
+        let h = (id.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 33;
+        ctx.advance(time::ns(1 + (h & 15)));
+        let kids = 2 + (h & 1);
+        for c in 0..kids {
+            if budget
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+                .is_err()
+            {
+                return;
+            }
+            let (b, s) = (Arc::clone(budget), Arc::clone(seen));
+            ctx.spawn_with_stack(format!("n{id}.{c}"), 16 * 1024, move |cctx| {
+                node(cctx, id.wrapping_mul(3).wrapping_add(c + 1), &b, &s)
+            });
+        }
+    }
+    let budget = Arc::new(AtomicU64::new(total - 1));
+    let seen = Arc::new(AtomicU64::new(0));
+    let mut sim = Simulation::new();
+    sim.set_actor_backend(ActorBackend::Coroutine);
+    let (b, s) = (Arc::clone(&budget), Arc::clone(&seen));
+    sim.spawn_with_stack("root", 16 * 1024, move |ctx| node(ctx, 1, &b, &s));
+    let t0 = Instant::now();
+    let stats = sim.run();
+    let host = t0.elapsed().as_secs_f64();
+    assert_eq!(seen.load(Ordering::Relaxed), total, "tree lost nodes");
+    assert_eq!(stats.actors as u64, total);
+    host
+}
+
 pub fn run(quick: bool) -> (Vec<Table>, SimcoreMetrics) {
     let n: u64 = if quick { 200_000 } else { 2_000_000 };
     let rounds: u64 = if quick { 20_000 } else { 200_000 };
@@ -147,6 +227,12 @@ pub fn run(quick: bool) -> (Vec<Table>, SimcoreMetrics) {
         (vt_fast - vt_slow).abs() < 1e-12,
         "fast path changed UTS virtual time: {vt_fast} vs {vt_slow}"
     );
+    // The scale probes run at the full million even under --quick: the CI
+    // perf-smoke job is exactly where "a 1M-actor simulation completes on a
+    // default runner" gets proven.
+    let scale_n: u64 = 1_000_000;
+    let (spawn_rate, _storm_run_s) = spawn_storm(scale_n);
+    let tree_s = actor_tree(scale_n);
 
     let m = SimcoreMetrics {
         simcalls_per_sec_fast: fast_tput,
@@ -156,6 +242,10 @@ pub fn run(quick: bool) -> (Vec<Table>, SimcoreMetrics) {
         uts_host_s_fast: uts_fast,
         uts_host_s_slow: uts_slow,
         uts_speedup: uts_slow / uts_fast,
+        spawn_rate_per_s: spawn_rate,
+        max_actors: scale_n as f64,
+        tree_actors: scale_n as f64,
+        tree_host_s: tree_s,
     };
 
     let mut t1 = Table::new(
@@ -199,7 +289,24 @@ pub fn run(quick: bool) -> (Vec<Table>, SimcoreMetrics) {
         format!("{:.2}x", m.uts_speedup),
     ]);
 
-    (vec![t1, t2, t3], m)
+    let mut t4 = Table::new(
+        format!("Actor scale — coroutine core, {scale_n} actors"),
+        &["metric", "value"],
+    );
+    t4.row(vec![
+        "spawn rate (actors/s)".into(),
+        format!("{:.0}", m.spawn_rate_per_s),
+    ]);
+    t4.row(vec![
+        "max live actors (flat storm)".into(),
+        format!("{:.0}", m.max_actors),
+    ]);
+    t4.row(vec![
+        "dynamic tree run (host s)".into(),
+        format!("{:.3}", m.tree_host_s),
+    ]);
+
+    (vec![t1, t2, t3, t4], m)
 }
 
 #[cfg(test)]
@@ -216,11 +323,19 @@ mod tests {
             uts_host_s_fast: 1.25,
             uts_host_s_slow: 3.5,
             uts_speedup: 2.8,
+            spawn_rate_per_s: 2_500_000.0,
+            max_actors: 1_000_000.0,
+            tree_actors: 1_000_000.0,
+            tree_host_s: 1.75,
         };
         let j = m.to_json();
         assert_eq!(json_number(&j, "simcalls_per_sec_fast"), Some(1_234_567.0));
         assert_eq!(json_number(&j, "simcall_speedup"), Some(12.5));
         assert_eq!(json_number(&j, "uts_speedup"), Some(2.8));
+        assert_eq!(json_number(&j, "handoff_ns"), Some(840.0));
+        assert_eq!(json_number(&j, "spawn_rate_per_s"), Some(2_500_000.0));
+        assert_eq!(json_number(&j, "max_actors"), Some(1_000_000.0));
+        assert_eq!(json_number(&j, "tree_host_s"), Some(1.75));
         assert_eq!(json_number(&j, "missing"), None);
     }
 }

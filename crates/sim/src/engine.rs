@@ -1,27 +1,111 @@
 //! The scheduler (`Simulation`) and the actor-side API (`Ctx`).
+//!
+//! Actors are lightweight execution contexts (stackful coroutines by
+//! default, see [`crate::coro`]), resumed in place by the scheduler loop: a
+//! wake dispatch is a user-space context switch into the actor, and a
+//! blocking simcall is a switch back. There are no per-actor kernel threads
+//! on the default backend — an actor is a heap stack plus a saved register
+//! file — which is what makes million-actor simulations practical. The
+//! [`ActorBackend::OsThread`] fallback runs the same protocol over parked
+//! OS threads.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::thread::JoinHandle;
 
-use crate::handoff::{Handoff, Wakeup};
+use crate::coro::{self, Coro, Poll, ResumeArg, Stack, SwitchCoro, ThreadCoro};
 use crate::kernel::{
     ActorId, ActorMeta, ActorStatus, BarrierId, BlockKind, CompletionId, CondId, EventKind,
     Kernel, MutexId, ResourceId, WaitGraph,
 };
 use crate::time::Time;
 
-/// Shared between the scheduler and every actor thread.
+pub use crate::coro::ActorBackend;
+
+/// Default actor stack size: matches the 8 MiB the engine used to give each
+/// actor's OS thread. Coroutine stacks are lazily faulted, so the virtual
+/// headroom costs nothing until touched; scale runs shrink it via
+/// [`Simulation::set_stack_size`] / [`Ctx::spawn_with_stack`].
+pub const DEFAULT_STACK_SIZE: usize = 8 << 20;
+
+/// Cap on recycled coroutine stacks retained for reuse. Spawn-heavy runs
+/// (one actor per work item) cycle through the pool with a near-100% hit
+/// rate; the cap only matters when a huge cohort finishes at once.
+const STACK_POOL_CAP: usize = 1024;
+
+/// Process-wide default actor backend override (0 = auto, 1 = coroutine,
+/// 2 = OS thread). Tests and benchmarks flip this around whole runs;
+/// [`Simulation::set_actor_backend`] always wins for a single simulation.
+static BACKEND_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Set (or clear) the process-wide default actor backend. Only affects
+/// simulations created afterwards. `None` restores auto-selection:
+/// `HUPC_ACTOR_BACKEND=thread|coro` if set, else coroutines where supported
+/// (the `thread-actors` cargo feature flips the auto default to threads).
+pub fn set_actor_backend_default(b: Option<ActorBackend>) {
+    let v = match b {
+        None => 0,
+        Some(ActorBackend::Coroutine) => 1,
+        Some(ActorBackend::OsThread) => 2,
+    };
+    BACKEND_OVERRIDE.store(v, Ordering::SeqCst);
+}
+
+/// The actor backend a freshly created [`Simulation`] will use.
+pub fn actor_backend_default() -> ActorBackend {
+    match BACKEND_OVERRIDE.load(Ordering::SeqCst) {
+        1 => return ActorBackend::Coroutine,
+        2 => return ActorBackend::OsThread,
+        _ => {}
+    }
+    static ENV: std::sync::OnceLock<Option<ActorBackend>> = std::sync::OnceLock::new();
+    let env = *ENV.get_or_init(|| {
+        match std::env::var("HUPC_ACTOR_BACKEND").ok().as_deref() {
+            Some("thread") | Some("threads") | Some("os-thread") => {
+                Some(ActorBackend::OsThread)
+            }
+            Some("coro") | Some("coroutine") | Some("coroutines") => {
+                Some(ActorBackend::Coroutine)
+            }
+            _ => None,
+        }
+    });
+    if let Some(b) = env {
+        return b;
+    }
+    if cfg!(feature = "thread-actors") {
+        ActorBackend::OsThread
+    } else {
+        ActorBackend::Coroutine
+    }
+}
+
+/// Shared between the scheduler and every actor context.
 struct Shared {
     kernel: Mutex<Kernel>,
-    engine_handoff: Handoff,
+    /// Actors registered in the kernel (meta + first wake already queued)
+    /// whose bodies the scheduler has not yet collected. Spawns from inside
+    /// a running actor land here — the actor cannot touch the scheduler's
+    /// slot table while the scheduler is suspended mid-resume.
+    staged: Mutex<Vec<StagedActor>>,
+    /// Default stack size for newly spawned actors, bytes.
+    stack_size: AtomicUsize,
+    /// Backend for actors of this simulation (u8 of [`ActorBackend`]).
+    backend: AtomicU8,
+}
+
+/// A registered actor whose execution context has not been created yet.
+struct StagedActor {
+    id: ActorId,
+    name: String,
+    stack_size: usize,
+    body: ActorBody,
 }
 
 /// Poison-tolerant lock: the engine's one deliberate poisoning policy.
 ///
 /// Engine-side state stays consistent across an actor panic — the panicking
-/// thread only ever completes a mutation before unwinding out of user code —
+/// actor only ever completes a mutation before unwinding out of user code —
 /// so a poisoned mutex carries a usable value. Taking it everywhere (kernel
 /// and panic-note alike) means reporting a panic can never itself panic on a
 /// poisoned lock and cascade.
@@ -122,11 +206,29 @@ pub struct SimulationStats {
     /// Simcalls resolved inline by the scheduler-bypass fast path — no
     /// context switch, no event-queue traffic.
     pub fast_path_hits: u64,
-    /// Full scheduler → actor handoffs (each costs a park/wake round trip).
+    /// Full scheduler → actor handoffs (each costs a resume/yield context
+    /// switch round trip).
     pub handoffs: u64,
     /// Operations on the far (binary-heap) half of the split event queue;
     /// near-bucket traffic is O(1) and not counted.
     pub heap_ops: u64,
+}
+
+/// Per-actor execution state owned by the scheduler.
+enum ActorSlot {
+    /// Registered but never dispatched: creating the stack and context is
+    /// deferred to the first wake, so a spawn burst costs one kernel
+    /// registration per actor and queued-but-not-yet-run actors are a few
+    /// hundred bytes each, not a stack each.
+    Pending {
+        name: String,
+        stack_size: usize,
+        body: ActorBody,
+    },
+    /// Live execution context (running or suspended).
+    Started(Coro),
+    /// Finished; stack reclaimed.
+    Done,
 }
 
 /// A deterministic discrete-event simulation.
@@ -135,7 +237,10 @@ pub struct SimulationStats {
 /// [`Simulation::kernel`], then call [`Simulation::run`].
 pub struct Simulation {
     shared: Arc<Shared>,
-    threads: Vec<JoinHandle<()>>,
+    /// Execution state per actor id; extended as staged spawns are drained.
+    actors: Vec<ActorSlot>,
+    /// Recycled coroutine stacks of finished actors (bounded).
+    stack_pool: Vec<Stack>,
     ran: bool,
 }
 
@@ -148,12 +253,16 @@ impl Default for Simulation {
 impl Simulation {
     pub fn new() -> Self {
         install_quiet_hook();
+        let backend = actor_backend_default();
         let sim = Simulation {
             shared: Arc::new(Shared {
                 kernel: Mutex::new(Kernel::new()),
-                engine_handoff: Handoff::new(),
+                staged: Mutex::new(Vec::new()),
+                stack_size: AtomicUsize::new(DEFAULT_STACK_SIZE),
+                backend: AtomicU8::new(backend_code(backend)),
             }),
-            threads: Vec::new(),
+            actors: Vec::new(),
+            stack_pool: Vec::new(),
             ran: false,
         };
         // Adopt the process-global tracer (if installed) so app-level
@@ -197,15 +306,55 @@ impl Simulation {
         self.kernel().set_tracer(t);
     }
 
+    /// Select the execution backend for actors of this simulation. Must be
+    /// called before any actor is dispatched (in practice: before
+    /// [`Simulation::run`]); actors already started keep their context.
+    /// Virtual-time behavior is bit-identical across backends — only host
+    /// speed, memory footprint, and actor-count headroom differ.
+    pub fn set_actor_backend(&self, b: ActorBackend) {
+        self.shared.backend.store(backend_code(b), Ordering::SeqCst);
+    }
+
+    /// The backend actors of this simulation run on.
+    pub fn actor_backend(&self) -> ActorBackend {
+        backend_of(self.shared.backend.load(Ordering::SeqCst))
+    }
+
+    /// Set the default stack size (bytes) for actors spawned afterwards.
+    /// Coroutine stacks are heap allocations faulted in lazily, so a large
+    /// default costs only virtual address space; scale runs use small
+    /// explicit sizes to keep the resident set per live actor minimal.
+    pub fn set_stack_size(&self, bytes: usize) {
+        self.shared
+            .stack_size
+            .store(bytes.max(coro::MIN_STACK), Ordering::SeqCst);
+    }
+
+    /// Current default actor stack size, bytes.
+    pub fn stack_size(&self) -> usize {
+        self.shared.stack_size.load(Ordering::SeqCst)
+    }
+
     /// Spawn a root actor scheduled to start at time 0.
     pub fn spawn<F>(&mut self, name: impl Into<String>, body: F) -> ActorRef
     where
         F: FnOnce(&Ctx) + Send + 'static,
     {
-        let name = name.into();
-        let (actor, thread) = spawn_actor(&self.shared, name, Box::new(body), 0);
-        self.threads.push(thread);
-        actor
+        let stack = self.stack_size();
+        register_actor(&self.shared, name.into(), stack, Box::new(body), 0)
+    }
+
+    /// [`Simulation::spawn`] with an explicit stack size for this actor.
+    pub fn spawn_with_stack<F>(
+        &mut self,
+        name: impl Into<String>,
+        stack_bytes: usize,
+        body: F,
+    ) -> ActorRef
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        register_actor(&self.shared, name.into(), stack_bytes, Box::new(body), 0)
     }
 
     /// Run until every actor has finished. Panics (with diagnostics) on
@@ -273,18 +422,22 @@ impl Simulation {
                     }
                 }
                 EventKind::Wake(a) => {
-                    let handoff = {
+                    {
                         let mut k = self.kernel();
                         k.mark_running(a);
                         k.handoffs += 1;
-                        Arc::clone(&k.actors[a].handoff)
-                    };
-                    handoff.signal();
-                    self.shared.engine_handoff.wait();
+                    }
+                    // Switch into the actor. It runs — possibly through many
+                    // fast-path simcalls — until it parks or finishes; the
+                    // kernel lock is free the whole time it executes.
+                    let poll = self.resume_actor(a, ResumeArg::Run);
+                    if poll == Poll::Finished {
+                        self.retire(a);
+                    }
                     // Panic payloads travel inside the kernel (recorded by
-                    // the panicking actor's thread under the kernel lock),
-                    // so propagation is a typed field handoff rather than a
-                    // side effect of tolerating a poisoned auxiliary mutex.
+                    // the panicking actor under the kernel lock before it
+                    // switches back), so propagation is a typed field
+                    // handoff, not a join side effect.
                     let note = {
                         let mut k = self.kernel();
                         k.take_panic_note()
@@ -297,46 +450,190 @@ impl Simulation {
                             message,
                         });
                     }
-                    // Dynamically spawned threads were registered; collect
-                    // their join handles lazily at teardown via kernel meta.
                 }
             }
+        }
+    }
+
+    /// Pull staged spawns into the slot table. Ids are dense and assigned in
+    /// registration order under the kernel lock, so staged entries extend
+    /// the table contiguously.
+    fn drain_staged(&mut self) {
+        let mut staged = relock(&self.shared.staged);
+        for s in staged.drain(..) {
+            debug_assert_eq!(s.id, self.actors.len(), "staged spawn out of order");
+            self.actors.push(ActorSlot::Pending {
+                name: s.name,
+                stack_size: s.stack_size,
+                body: s.body,
+            });
+        }
+    }
+
+    /// Resume actor `a`, creating its execution context on first dispatch.
+    fn resume_actor(&mut self, a: ActorId, arg: ResumeArg) -> Poll {
+        self.drain_staged();
+        if matches!(self.actors[a], ActorSlot::Pending { .. }) {
+            let slot = std::mem::replace(&mut self.actors[a], ActorSlot::Done);
+            let ActorSlot::Pending {
+                name,
+                stack_size,
+                body,
+            } = slot
+            else {
+                unreachable!()
+            };
+            let coro = self.make_context(a, name, stack_size, body);
+            self.actors[a] = ActorSlot::Started(coro);
+        }
+        let ActorSlot::Started(c) = &mut self.actors[a] else {
+            unreachable!("woke actor {a} with no execution context");
+        };
+        c.resume(arg)
+    }
+
+    /// Move a finished actor's slot to `Done`, recycling its stack.
+    fn retire(&mut self, a: ActorId) {
+        if let ActorSlot::Started(c) = &mut self.actors[a] {
+            debug_assert!(c.finished());
+            if let Some(stack) = c.take_stack() {
+                if self.stack_pool.len() < STACK_POOL_CAP {
+                    self.stack_pool.push(stack);
+                }
+            }
+            self.actors[a] = ActorSlot::Done;
+        }
+    }
+
+    /// A stack of exactly `want` usable bytes, reused from the pool when one
+    /// is available.
+    fn pooled_stack(&mut self, size: usize) -> Stack {
+        let want = size.max(coro::MIN_STACK).next_multiple_of(4096);
+        if let Some(pos) = self.stack_pool.iter().rposition(|s| s.size() == want) {
+            return self.stack_pool.swap_remove(pos);
+        }
+        Stack::new(want)
+    }
+
+    /// Build the execution context for one actor: the body wrapped with
+    /// panic containment and finish bookkeeping, on the selected backend.
+    fn make_context(
+        &mut self,
+        id: ActorId,
+        name: String,
+        stack_size: usize,
+        body: ActorBody,
+    ) -> Coro {
+        let shared = Arc::clone(&self.shared);
+        let wrapper: Box<dyn FnOnce(ResumeArg) + Send> = Box::new(move |first: ResumeArg| {
+            if first == ResumeArg::Shutdown {
+                // Torn down before ever running; skip the body entirely.
+                return;
+            }
+            let ctx = Ctx {
+                shared: Arc::clone(&shared),
+                id,
+                deferred: AtomicU64::new(0),
+                tag: AtomicU64::new(0),
+                // Captured at first dispatch, i.e. once the run has started,
+                // so a tracer attached any time before `run()` is seen by
+                // every actor.
+                #[cfg(feature = "trace")]
+                tracer: relock(&shared.kernel).tracer().cloned(),
+            };
+            let result = catch_unwind(AssertUnwindSafe(|| body(&ctx)));
+            // The scheduler's OS thread hosts every coroutine: a quiet
+            // teardown unwind must not leave the flag set for whoever runs
+            // on this thread next.
+            QUIET_UNWIND.with(|q| q.set(false));
+            let shutdown = matches!(
+                &result,
+                Err(p) if p.is::<ShutdownSignal>()
+            );
+            if shutdown {
+                // Teardown: do not touch kernel bookkeeping; just finish.
+                return;
+            }
+            if let Err(p) = result {
+                let msg = panic_message(p.as_ref());
+                // One kernel transaction: record the typed panic note and
+                // mark the actor finished so the scheduler does not hang.
+                // `relock` still matters here — a panic inside a
+                // `with_kernel` closure poisons the kernel mutex itself —
+                // but the note is now a kernel field, not a side channel.
+                let mut k = relock(&shared.kernel);
+                k.note_panic(id, msg);
+                k.actors[id].status = ActorStatus::Finished;
+                k.live_actors -= 1;
+                return;
+            }
+            let mut k = relock(&shared.kernel);
+            k.actors[id].status = ActorStatus::Finished;
+            k.live_actors -= 1;
+            let exit = k.actors[id].exit;
+            k.fire_completion(exit);
+        });
+        let backend = backend_of(self.shared.backend.load(Ordering::SeqCst));
+        match backend {
+            ActorBackend::Coroutine if coro::SWITCH_SUPPORTED => {
+                let stack = self.pooled_stack(stack_size);
+                Coro::Switch(SwitchCoro::new(stack, wrapper))
+            }
+            // No asm switch on this target: fall back to threads silently so
+            // code that requests coroutines stays portable.
+            _ => Coro::Thread(ThreadCoro::new(name, stack_size, wrapper)),
         }
     }
 }
 
 impl Drop for Simulation {
     fn drop(&mut self) {
-        // Wake every unfinished actor with the shutdown flag so its thread
-        // unwinds out of user code and exits, then join all threads.
-        let handoffs: Vec<Arc<Handoff>> = {
-            let k = self.kernel();
-            k.actors
-                .iter()
-                .filter(|a| a.status != ActorStatus::Finished)
-                .map(|a| Arc::clone(&a.handoff))
-                .collect()
-        };
-        for h in handoffs {
-            h.signal_shutdown();
+        // Tear down every unfinished actor: resume it with the shutdown
+        // flag so it unwinds out of user code (quietly) and finishes.
+        // Never-dispatched actors have no context yet — their bodies are
+        // simply dropped. An actor whose teardown unwind blocks again is
+        // resumed with shutdown again (a simcall in a `Drop` during the
+        // unwind re-panics, which aborts — same contract as always).
+        self.drain_staged();
+        for a in 0..self.actors.len() {
+            loop {
+                let live = matches!(&self.actors[a], ActorSlot::Started(c) if !c.finished());
+                if !live {
+                    break;
+                }
+                let _ = self.resume_actor(a, ResumeArg::Shutdown);
+            }
+            self.retire(a);
         }
-        for t in self.threads.drain(..) {
-            let _ = t.join();
-        }
+    }
+}
+
+fn backend_code(b: ActorBackend) -> u8 {
+    match b {
+        ActorBackend::Coroutine => 0,
+        ActorBackend::OsThread => 1,
+    }
+}
+
+fn backend_of(code: u8) -> ActorBackend {
+    match code {
+        0 => ActorBackend::Coroutine,
+        _ => ActorBackend::OsThread,
     }
 }
 
 type ActorBody = Box<dyn FnOnce(&Ctx) + Send + 'static>;
 
-/// Create the actor record and OS thread; schedule its first wake at
-/// `start_time`.
-fn spawn_actor(
+/// Register an actor: create the kernel record, schedule its first wake at
+/// `start_time`, and stage the body for the scheduler to start lazily on
+/// first dispatch.
+fn register_actor(
     shared: &Arc<Shared>,
     name: String,
+    stack_size: usize,
     body: ActorBody,
     start_time: Time,
-) -> (ActorRef, JoinHandle<()>) {
-    let handoff = Arc::new(Handoff::new());
+) -> ActorRef {
     let (id, exit) = {
         let mut k = relock(&shared.kernel);
         let exit = k.new_completion();
@@ -345,7 +642,6 @@ fn spawn_actor(
         k.actors.push(ActorMeta {
             name: name.clone(),
             status: ActorStatus::Blocked,
-            handoff: Arc::clone(&handoff),
             exit,
             blocked_on: BlockKind::Start,
             wake_epoch: 0,
@@ -358,59 +654,13 @@ fn spawn_actor(
         k.wake_at(start, id);
         (id, exit)
     };
-    let shared2 = Arc::clone(shared);
-    let thread = std::thread::Builder::new()
-        .name(name)
-        .stack_size(8 << 20)
-        .spawn(move || {
-            if handoff.wait() == Wakeup::Shutdown {
-                return;
-            }
-            let ctx = Ctx {
-                shared: Arc::clone(&shared2),
-                id,
-                handoff: Arc::clone(&handoff),
-                deferred: AtomicU64::new(0),
-                // Captured after the first wake, i.e. once the run has
-                // started, so a tracer attached any time before `run()` is
-                // seen by every actor.
-                #[cfg(feature = "trace")]
-                tracer: relock(&shared2.kernel).tracer().cloned(),
-            };
-            let result = catch_unwind(AssertUnwindSafe(|| body(&ctx)));
-            let shutdown = matches!(
-                &result,
-                Err(p) if p.is::<ShutdownSignal>()
-            );
-            if shutdown {
-                // Teardown: do not touch kernel bookkeeping; just exit.
-                return;
-            }
-            if let Err(p) = result {
-                let msg = panic_message(p.as_ref());
-                // One kernel transaction: record the typed panic note and
-                // mark the actor finished so the scheduler does not hang.
-                // `relock` still matters here — a panic inside a
-                // `with_kernel` closure poisons the kernel mutex itself —
-                // but the note is now a kernel field, not a side channel.
-                let mut k = relock(&shared2.kernel);
-                k.note_panic(id, msg);
-                k.actors[id].status = ActorStatus::Finished;
-                k.live_actors -= 1;
-                drop(k);
-                shared2.engine_handoff.signal();
-                return;
-            }
-            let mut k = relock(&shared2.kernel);
-            k.actors[id].status = ActorStatus::Finished;
-            k.live_actors -= 1;
-            let exit = k.actors[id].exit;
-            k.fire_completion(exit);
-            drop(k);
-            shared2.engine_handoff.signal();
-        })
-        .expect("failed to spawn actor thread");
-    (ActorRef { id, exit }, thread)
+    relock(&shared.staged).push(StagedActor {
+        id,
+        name,
+        stack_size,
+        body,
+    });
+    ActorRef { id, exit }
 }
 
 fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
@@ -430,12 +680,15 @@ fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
 pub struct Ctx {
     shared: Arc<Shared>,
     id: ActorId,
-    handoff: Arc<Handoff>,
     /// Lazily accumulated pure delay ([`Ctx::advance_lazy`]): virtual time
     /// this actor has charged but not yet pushed into the kernel. Flushed —
     /// as a single logical advance — before any kernel interaction, so no
     /// other actor (and no event) can ever observe the stale clock.
     deferred: AtomicU64,
+    /// Actor-local tag word (see [`Ctx::set_actor_tag`]). Lives on the
+    /// context rather than in OS-thread TLS because actors share the
+    /// scheduler's thread on the coroutine backend.
+    tag: AtomicU64,
     /// Tracer captured at actor start (cheap clone of the kernel's).
     #[cfg(feature = "trace")]
     tracer: Option<Arc<hupc_trace::Tracer>>,
@@ -451,6 +704,22 @@ impl Ctx {
     /// Actor name (as given at spawn).
     pub fn name(&self) -> String {
         self.kernel().actors[self.id].name.clone()
+    }
+
+    /// Set this actor's local tag word — scratch state scoped to the actor,
+    /// not the OS thread. Runtime layers use it for per-actor flags that
+    /// OS-thread designs would put in TLS (e.g. `hupc-upc`'s sub-thread
+    /// context marker); with coroutine actors all sharing one kernel
+    /// thread, TLS would leak across actors.
+    #[inline]
+    pub fn set_actor_tag(&self, v: u64) {
+        self.tag.store(v, Ordering::Relaxed);
+    }
+
+    /// This actor's local tag word (0 until set).
+    #[inline]
+    pub fn actor_tag(&self) -> u64 {
+        self.tag.load(Ordering::Relaxed)
     }
 
     /// Current virtual time (includes this actor's lazily deferred delay).
@@ -490,7 +759,10 @@ impl Ctx {
         f(&mut self.kernel_synced())
     }
 
-    /// Yield to the scheduler and park until woken.
+    /// Yield to the scheduler and suspend until woken: mark the block reason
+    /// in the kernel, then switch back to the scheduler loop. On the
+    /// coroutine backend this is a user-space context switch — no futex, no
+    /// kernel round trip.
     fn block(&self, on: BlockKind) {
         {
             let mut k = self.kernel();
@@ -499,8 +771,7 @@ impl Ctx {
                 k.mark_blocked(self.id, on);
             }
         }
-        self.shared.engine_handoff.signal();
-        if self.handoff.wait() == Wakeup::Shutdown {
+        if coro::yield_parked() == ResumeArg::Shutdown {
             QUIET_UNWIND.with(|q| q.set(true));
             std::panic::panic_any(ShutdownSignal);
         }
@@ -517,7 +788,7 @@ impl Ctx {
     /// Fast path: when the resulting wake would be the strictly earliest
     /// pending event — the overwhelmingly common case — the clock advances
     /// inline and the actor keeps running, skipping the
-    /// park → scheduler → pop → wake round trip entirely.
+    /// yield → scheduler → pop → resume round trip entirely.
     pub fn advance(&self, dt: Time) {
         // Any lazily deferred delay elapses first; merging it into this
         // charge keeps the combined delay a single logical advance.
@@ -541,8 +812,8 @@ impl Ctx {
     /// Charge `dt` of virtual time *lazily*: the delay accumulates in the
     /// actor and is folded into its next kernel interaction (any simcall, or
     /// an explicit [`Ctx::advance`]) as one combined advance. Consecutive
-    /// lazy charges coalesce — no lock, no event, no handoff — which makes
-    /// this the cheapest way to express back-to-back modeled overheads.
+    /// lazy charges coalesce — no lock, no event, no context switch — which
+    /// makes this the cheapest way to express back-to-back modeled overheads.
     ///
     /// Semantically the total delay is charged as a *single* advance at the
     /// flush point; opt in only where intermediate wake points are not
@@ -721,21 +992,28 @@ impl Ctx {
     }
 
     /// Spawn a child actor starting at the current time. The child is a full
-    /// actor (own OS thread); join via
-    /// `ctx.wait(child.exit_completion())`.
+    /// actor (own coroutine stack, created lazily at its first wake); join
+    /// via `ctx.wait(child.exit_completion())`.
     pub fn spawn<F>(&self, name: impl Into<String>, body: F) -> ActorRef
     where
         F: FnOnce(&Ctx) + Send + 'static,
     {
+        let stack = self.shared.stack_size.load(Ordering::SeqCst);
+        self.spawn_with_stack(name, stack, body)
+    }
+
+    /// [`Ctx::spawn`] with an explicit stack size (bytes) for the child.
+    pub fn spawn_with_stack<F>(
+        &self,
+        name: impl Into<String>,
+        stack_bytes: usize,
+        body: F,
+    ) -> ActorRef
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
         let now = self.kernel_synced().now();
-        let (actor, thread) = spawn_actor(&self.shared, name.into(), Box::new(body), now);
-        // Detach: teardown in Simulation::drop joins only root threads, so
-        // child threads must exit on their own. They always do: either they
-        // finish, or they receive the shutdown signal (Drop signals every
-        // non-finished actor, children included). Dropping the JoinHandle
-        // detaches the thread without leaking the actor record.
-        drop(thread);
-        actor
+        register_actor(&self.shared, name.into(), stack_bytes, Box::new(body), now)
     }
 
     /// Block until `child` has finished.
@@ -1072,7 +1350,30 @@ mod tests {
         sim.spawn("never-ran", |ctx| {
             ctx.advance(time::secs(100));
         });
-        drop(sim); // must join the parked thread promptly
+        drop(sim); // must tear down the pending actor promptly
+    }
+
+    #[test]
+    fn drop_after_partial_run_tears_down_suspended_actors() {
+        // One actor panics at t=1; the other is left suspended at a barrier.
+        // Dropping the simulation must unwind the suspended actor cleanly.
+        for backend in [ActorBackend::Coroutine, ActorBackend::OsThread] {
+            let mut sim = Simulation::new();
+            sim.set_actor_backend(backend);
+            let bar = sim.kernel().new_barrier(2);
+            sim.spawn("stuck", move |ctx| {
+                ctx.barrier_wait(bar);
+            });
+            sim.spawn("boom", |ctx| {
+                ctx.advance(1);
+                panic!("kaboom");
+            });
+            assert!(matches!(
+                sim.run_result().unwrap_err(),
+                SimError::ActorPanic { .. }
+            ));
+            drop(sim);
+        }
     }
 
     #[test]
@@ -1084,6 +1385,91 @@ mod tests {
         });
         assert_eq!(a.id, 0);
         sim.run();
+    }
+
+    #[test]
+    fn actor_tag_is_per_actor_not_per_thread() {
+        // Two actors interleave; each sets its own tag and must never see
+        // the other's. (On OS-thread TLS this held trivially; with
+        // coroutines sharing one thread, it is the actor-local tag that
+        // preserves it.)
+        let mut sim = Simulation::new();
+        let bar = sim.kernel().new_barrier(2);
+        for id in 0..2u64 {
+            sim.spawn(format!("a{id}"), move |ctx| {
+                assert_eq!(ctx.actor_tag(), 0);
+                ctx.set_actor_tag(100 + id);
+                ctx.barrier_wait(bar); // the other actor runs in between
+                assert_eq!(ctx.actor_tag(), 100 + id);
+                ctx.barrier_wait(bar);
+                assert_eq!(ctx.actor_tag(), 100 + id);
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn backends_produce_identical_event_logs_and_stats() {
+        // The same program — barriers, a contended resource, a mutex,
+        // dynamic spawn — must produce byte-identical event logs and stats
+        // on the coroutine and OS-thread backends.
+        fn run_once(backend: ActorBackend) -> (Vec<crate::kernel::TraceEvent>, SimulationStats) {
+            let mut sim = Simulation::new();
+            sim.set_actor_backend(backend);
+            sim.kernel().record_event_log(true);
+            let res = sim.kernel().new_resource("r");
+            let bar = sim.kernel().new_barrier(2);
+            let m = sim.kernel().new_mutex();
+            for id in 0..2u64 {
+                sim.spawn(format!("a{id}"), move |ctx| {
+                    for i in 0..4u64 {
+                        ctx.advance(time::ns(3 + id * 7));
+                        ctx.acquire(res, time::ns(50 + i));
+                        ctx.mutex_lock(m);
+                        ctx.advance(time::ns(5));
+                        ctx.mutex_unlock(m);
+                        ctx.barrier_wait(bar);
+                    }
+                    if id == 0 {
+                        let child = ctx.spawn("kid", |c| c.advance(time::us(1)));
+                        ctx.join(child);
+                    }
+                });
+            }
+            let stats = sim.run();
+            let log = sim.kernel().take_event_log();
+            (log, stats)
+        }
+        let coro = run_once(ActorBackend::Coroutine);
+        let thread = run_once(ActorBackend::OsThread);
+        assert_eq!(coro, thread);
+    }
+
+    #[test]
+    fn spawn_with_stack_runs_on_small_stacks() {
+        let mut sim = Simulation::new();
+        sim.set_stack_size(32 * 1024);
+        assert_eq!(sim.stack_size(), 32 * 1024);
+        let n = 200;
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        sim.spawn_with_stack("parent", 64 * 1024, move |ctx| {
+            let kids: Vec<ActorRef> = (0..n)
+                .map(|i| {
+                    let c = Arc::clone(&c);
+                    ctx.spawn_with_stack(format!("k{i}"), 16 * 1024, move |k| {
+                        k.advance(time::ns(i as u64 + 1));
+                        c.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for k in kids {
+                ctx.join(k);
+            }
+        });
+        let stats = sim.run();
+        assert_eq!(counter.load(Ordering::Relaxed), n);
+        assert_eq!(stats.actors, n + 1);
     }
 
     #[test]

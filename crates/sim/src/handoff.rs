@@ -1,8 +1,11 @@
-//! One-token handoff between the scheduler thread and actor threads.
+//! One-token rendezvous used by the OS-thread actor backend.
 //!
 //! The engine guarantees that at most one party (the scheduler or a single
-//! actor) is logically running at a time. A `Handoff` is the parking spot a
-//! party waits on until the other side passes it the token.
+//! actor) is logically running at a time. On the [`crate::ActorBackend::OsThread`]
+//! backend each actor lives on its own parked thread, and a `Handoff` is the
+//! parking spot a party waits on until the other side passes it the token.
+//! (The default coroutine backend needs none of this — a handoff there is a
+//! user-space context switch.)
 //!
 //! The wait is **spin-then-park**: the token lives in an atomic, and a
 //! waiter first spins on it for a short bounded burst — when the peer is
@@ -10,24 +13,12 @@
 //! this resolves the handoff entirely in user space, with no futex sleep.
 //! Only if the token does not arrive within the burst does the waiter take
 //! the mutex and park on the condvar. Each `Handoff` has exactly one
-//! consumer (the scheduler for the engine handoff, the owning actor for its
-//! own), so consuming the token needs no CAS loop.
+//! consumer, so consuming the token needs no CAS loop.
 
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Condvar, Mutex, PoisonError};
 
-/// Why a parked party was woken.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub(crate) enum Wakeup {
-    /// Proceed normally.
-    Run,
-    /// The simulation is being torn down; unwind out of user code.
-    Shutdown,
-}
-
 const TOKEN: u32 = 1;
-/// Sticky: once set, every subsequent wait returns [`Wakeup::Shutdown`].
-const SHUTDOWN: u32 = 2;
 
 /// Spin budget before parking. A handful of microseconds of polling — enough
 /// to cover a peer that is already on its way to `signal`, short enough to
@@ -49,32 +40,28 @@ impl Handoff {
 
     /// Consume the token if present. Single-consumer, so observing TOKEN
     /// means we own it; `fetch_and` only clears our own observation.
-    fn try_take(&self) -> Option<Wakeup> {
+    fn try_take(&self) -> bool {
         let s = self.state.load(Ordering::Acquire);
         if s & TOKEN == 0 {
-            return None;
+            return false;
         }
         let prev = self.state.fetch_and(!TOKEN, Ordering::AcqRel);
         debug_assert_ne!(prev & TOKEN, 0, "handoff token consumed twice");
-        Some(if prev & SHUTDOWN != 0 {
-            Wakeup::Shutdown
-        } else {
-            Wakeup::Run
-        })
+        true
     }
 
-    /// Park until the token arrives. Returns the wakeup reason.
-    pub fn wait(&self) -> Wakeup {
+    /// Park until the token arrives.
+    pub fn wait(&self) {
         for _ in 0..SPIN {
-            if let Some(w) = self.try_take() {
-                return w;
+            if self.try_take() {
+                return;
             }
             std::hint::spin_loop();
         }
         let mut g = self.park.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
-            if let Some(w) = self.try_take() {
-                return w;
+            if self.try_take() {
+                return;
             }
             g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
         }
@@ -84,12 +71,6 @@ impl Handoff {
     /// return immediately).
     pub fn signal(&self) {
         self.state.fetch_or(TOKEN, Ordering::Release);
-        self.notify();
-    }
-
-    /// Pass the token flagged as shutdown; the woken party unwinds.
-    pub fn signal_shutdown(&self) {
-        self.state.fetch_or(TOKEN | SHUTDOWN, Ordering::Release);
         self.notify();
     }
 
@@ -114,30 +95,14 @@ mod tests {
         let h2 = Arc::clone(&h);
         let t = std::thread::spawn(move || h2.wait());
         h.signal();
-        assert_eq!(t.join().unwrap(), Wakeup::Run);
+        t.join().unwrap();
     }
 
     #[test]
     fn signal_before_wait_is_not_lost() {
         let h = Handoff::new();
         h.signal();
-        assert_eq!(h.wait(), Wakeup::Run);
-    }
-
-    #[test]
-    fn shutdown_reason_is_delivered() {
-        let h = Handoff::new();
-        h.signal_shutdown();
-        assert_eq!(h.wait(), Wakeup::Shutdown);
-    }
-
-    #[test]
-    fn shutdown_is_sticky_across_waits() {
-        let h = Handoff::new();
-        h.signal_shutdown();
-        assert_eq!(h.wait(), Wakeup::Shutdown);
-        h.signal();
-        assert_eq!(h.wait(), Wakeup::Shutdown);
+        h.wait();
     }
 
     #[test]
@@ -148,7 +113,7 @@ mod tests {
         let t = std::thread::spawn(move || h2.wait());
         std::thread::sleep(std::time::Duration::from_millis(30));
         h.signal();
-        assert_eq!(t.join().unwrap(), Wakeup::Run);
+        t.join().unwrap();
     }
 
     #[test]
@@ -159,13 +124,13 @@ mod tests {
         let d2 = Arc::clone(&done);
         let t = std::thread::spawn(move || {
             for _ in 0..10_000 {
-                assert_eq!(h2.wait(), Wakeup::Run);
+                h2.wait();
                 d2.signal();
             }
         });
         for _ in 0..10_000 {
             h.signal();
-            assert_eq!(done.wait(), Wakeup::Run);
+            done.wait();
         }
         t.join().unwrap();
     }

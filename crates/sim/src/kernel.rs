@@ -10,9 +10,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 
-use crate::handoff::Handoff;
 use crate::time::Time;
 
 /// Process-wide default for the scheduler-bypass fast path; freshly created
@@ -179,7 +177,6 @@ fn park_code(on: BlockKind) -> u64 {
 pub(crate) struct ActorMeta {
     pub name: String,
     pub status: ActorStatus,
-    pub handoff: Arc<Handoff>,
     /// Completed when the actor finishes; joiners wait on it.
     pub exit: CompletionId,
     /// What the actor is blocked on, for timeouts and deadlock diagnostics.
@@ -336,7 +333,8 @@ pub struct Kernel {
     fast_path: bool,
     /// Simcalls resolved inline without a scheduler handoff.
     pub(crate) fast_path_hits: u64,
-    /// Scheduler → actor dispatches that went through the full handoff.
+    /// Scheduler → actor dispatches that went through a full handoff (a
+    /// resume/yield context-switch round trip).
     pub(crate) handoffs: u64,
     /// Pushes + pops on the far (binary-heap) half of the event queue.
     pub(crate) heap_ops: u64,
@@ -347,9 +345,9 @@ pub struct Kernel {
     /// sequence-order pop path with zero overhead.
     policy: Option<Box<dyn SchedulePolicy>>,
     /// First actor panic of the run: `(actor, payload rendering)`. Set by
-    /// the panicking actor's thread under the kernel lock and drained by the
-    /// scheduler loop — the typed channel behind
-    /// [`crate::SimError::ActorPanic`].
+    /// the panicking actor under the kernel lock (before it switches back to
+    /// the scheduler) and drained by the scheduler loop — the typed channel
+    /// behind [`crate::SimError::ActorPanic`].
     panic_note: Option<(ActorId, String)>,
     /// Structured virtual-time tracer (hupc-trace), if one is attached.
     /// Emitting never touches `now`, the queue, or any seq the simulation
@@ -1205,7 +1203,6 @@ mod tests {
         k.actors.push(ActorMeta {
             name: "a".into(),
             status: ActorStatus::Running,
-            handoff: Arc::new(Handoff::new()),
             exit,
             blocked_on: BlockKind::Start,
             wake_epoch: 3,

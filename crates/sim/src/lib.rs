@@ -1,5 +1,5 @@
 //! `hupc-sim` — a deterministic discrete-event simulation engine with
-//! OS-thread actors and virtual time.
+//! lightweight coroutine actors and virtual time.
 //!
 //! The engine is the substrate every other `hupc` crate runs on. It plays the
 //! role the physical clusters (*Lehman*, *Pyramid*) play in the thesis
@@ -10,13 +10,21 @@
 //! # Execution model
 //!
 //! Every simulated execution stream (a UPC thread, a sub-thread, an MPI rank)
-//! is an **actor**: a real OS thread that runs user Rust code. Exactly one
-//! actor runs at any instant; an actor executes until it performs a *simcall*
+//! is an **actor**: a stackful coroutine that runs user Rust code, resumed in
+//! place by the scheduler (see [`ActorBackend`]; a portable one-OS-thread-
+//! per-actor fallback implements the same protocol). Exactly one actor runs
+//! at any instant; an actor executes until it performs a *simcall*
 //! ([`Ctx::advance`], [`Ctx::acquire`], [`Ctx::wait`], [`Ctx::barrier_wait`],
-//! …), at which point control is handed back to the central scheduler. The
+//! …), at which point control switches back to the central scheduler. The
 //! scheduler pops the event queue in `(virtual_time, sequence)` order and
 //! resumes the next runnable actor. This makes every run bit-for-bit
 //! deterministic while still letting user code use plain Rust data structures.
+//!
+//! Because an actor is a heap stack plus a saved register file — not a kernel
+//! thread — a handoff costs ~100ns of user-space register swapping and a
+//! simulation can hold **millions of actors**: memory (tunable via
+//! [`Simulation::set_stack_size`] / [`Ctx::spawn_with_stack`]), not kernel
+//! thread limits, bounds actor count.
 //!
 //! Because actors never run concurrently, shared state can be held in
 //! [`SimCell`]s — interior-mutability cells whose safety is guaranteed by the
@@ -51,6 +59,7 @@
 //! ```
 
 mod cell;
+mod coro;
 mod engine;
 mod handoff;
 mod kernel;
@@ -59,7 +68,8 @@ pub mod time;
 
 pub use cell::SimCell;
 pub use engine::{
-    ActorRef, Ctx, SimError, SimResult, Simulation, SimulationStats, WaitTimedOut,
+    actor_backend_default, set_actor_backend_default, ActorBackend, ActorRef, Ctx,
+    SimError, SimResult, Simulation, SimulationStats, WaitTimedOut, DEFAULT_STACK_SIZE,
 };
 pub use kernel::{
     fast_path_default, set_fast_path_default, BarrierId, CompletionId, CondId, Kernel,

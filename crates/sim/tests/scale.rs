@@ -1,0 +1,90 @@
+//! Actor-count scale smoke tests for the coroutine core.
+//!
+//! These are tier-1 (plain `cargo test`) pins on the scale properties the
+//! lightweight-actor refactor exists for: a hundred thousand simultaneously
+//! live actors spawn, synchronize, and tear down in a debug build without
+//! exhausting memory or kernel limits (the old one-OS-thread-per-actor
+//! engine capped out around a few thousand). The million-actor run lives in
+//! the perf-smoke benchmark (`hupc-bench simcore`), not here, to keep tier-1
+//! fast.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use hupc_sim::{time, ActorBackend, Simulation};
+
+/// 100k live actors arrive at one barrier, then all tear down. Exercises:
+/// mass registration, lazy context creation at first dispatch, a
+/// 100k-party release wave through the near bucket, and stack reclamation.
+#[test]
+fn hundred_thousand_actors_spawn_barrier_teardown() {
+    let n: usize = 100_000;
+    let mut sim = Simulation::new();
+    // These counts only work on the coroutine backend — pin it so the
+    // `thread-actors` CI lane doesn't try to spawn 100k OS threads.
+    sim.set_actor_backend(ActorBackend::Coroutine);
+    // Small explicit stacks: the bodies below need a few KB, and 100k of
+    // them must not dominate the test runner's memory.
+    sim.set_stack_size(32 * 1024);
+    let bar = sim.kernel().new_barrier(n);
+    for i in 0..n {
+        sim.spawn(format!("a{i}"), move |ctx| {
+            ctx.advance(time::ns((i % 64) as u64));
+            ctx.barrier_wait(bar);
+            ctx.advance(time::ns(1));
+        });
+    }
+    let stats = sim.run();
+    assert_eq!(stats.actors, n);
+    // Barrier releases at the max arrival (63ns); everyone then advances 1ns.
+    assert_eq!(stats.end_time, time::ns(64));
+}
+
+/// A budget-driven dynamic spawn tree (the shape of an unbalanced tree
+/// search): each actor claims work from a shared budget and spawns up to two
+/// children while any remains. Exercises staged spawning from running
+/// actors at depth and the finished-stack pool (live stacks stay bounded by
+/// the frontier, not the total actor count).
+#[test]
+fn fifty_thousand_actor_dynamic_spawn_tree() {
+    const TOTAL: u64 = 50_000;
+    let budget = Arc::new(AtomicU64::new(TOTAL - 1)); // root is actor 0
+    let visited = Arc::new(AtomicU64::new(0));
+
+    fn node(
+        ctx: &hupc_sim::Ctx,
+        depth: u64,
+        budget: &Arc<AtomicU64>,
+        visited: &Arc<AtomicU64>,
+    ) {
+        visited.fetch_add(1, Ordering::Relaxed);
+        ctx.advance(time::ns(1 + depth % 7));
+        let mut children = Vec::new();
+        for c in 0..2 {
+            // Serialized execution makes this claim order deterministic.
+            if budget
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+                .is_ok()
+            {
+                let (b, v) = (Arc::clone(budget), Arc::clone(visited));
+                children.push(ctx.spawn_with_stack(
+                    format!("n{depth}.{c}"),
+                    24 * 1024,
+                    move |cctx| node(cctx, depth + 1, &b, &v),
+                ));
+            }
+        }
+        for ch in children {
+            ctx.join(ch);
+        }
+    }
+
+    let mut sim = Simulation::new();
+    sim.set_actor_backend(ActorBackend::Coroutine);
+    let (b, v) = (Arc::clone(&budget), Arc::clone(&visited));
+    sim.spawn_with_stack("root", 64 * 1024, move |ctx| node(ctx, 0, &b, &v));
+    let stats = sim.run();
+    assert_eq!(visited.load(Ordering::Relaxed), TOTAL);
+    assert_eq!(stats.actors as u64, TOTAL);
+    assert_eq!(budget.load(Ordering::Relaxed), 0);
+}

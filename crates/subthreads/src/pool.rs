@@ -121,7 +121,7 @@ impl SubPool {
                 let shared = Arc::clone(&shared);
                 let per_task = profile.per_task;
                 ctx.spawn(format!("sub{me}.{}", i + 1), move |wctx| {
-                    set_subthread_context(true);
+                    set_subthread_context(wctx, true);
                     loop {
                         match shared.queue.pop(wctx) {
                             Msg::Stop => break,

@@ -1,6 +1,5 @@
 //! SPMD launcher, the per-thread `Upc` view, and deferred cost accounting.
 
-use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -11,20 +10,26 @@ use hupc_topo::SocketId;
 use crate::elem::PgasElem;
 use crate::shared::SharedArray;
 
-thread_local! {
-    /// Whether the current OS thread is a user-spawned sub-thread (set by
-    /// `hupc-subthreads` workers). Gates UPC calls per [`ThreadSafety`].
-    static IN_SUBTHREAD: Cell<bool> = const { Cell::new(false) };
+/// Bit in the actor-local tag word marking a user-spawned sub-thread context
+/// (set by `hupc-subthreads` workers). Kept on the actor's [`Ctx`] — not in
+/// OS-thread TLS — because coroutine actors all share the scheduler's thread,
+/// where TLS would leak the flag from one actor to the next.
+const SUBTHREAD_TAG: u64 = 1;
+
+/// Mark / unmark an actor as a sub-thread context. Gates UPC calls per
+/// [`ThreadSafety`].
+pub fn set_subthread_context(ctx: &Ctx, on: bool) {
+    let tag = ctx.actor_tag();
+    ctx.set_actor_tag(if on {
+        tag | SUBTHREAD_TAG
+    } else {
+        tag & !SUBTHREAD_TAG
+    });
 }
 
-/// Mark / unmark the current OS thread as a sub-thread context.
-pub fn set_subthread_context(on: bool) {
-    IN_SUBTHREAD.with(|c| c.set(on));
-}
-
-/// Whether the current OS thread is a sub-thread context.
-pub fn in_subthread_context() -> bool {
-    IN_SUBTHREAD.with(|c| c.get())
+/// Whether the given actor is a sub-thread context.
+pub fn in_subthread_context(ctx: &Ctx) -> bool {
+    ctx.actor_tag() & SUBTHREAD_TAG != 0
 }
 
 /// MPI-2-style thread-safety levels for UPC calls from sub-threads
@@ -389,7 +394,7 @@ impl<'a> Upc<'a> {
     // ----- thread-safety gate -------------------------------------------------
 
     fn safety_gate(&self) -> Option<MutexId> {
-        if !in_subthread_context() {
+        if !in_subthread_context(self.ctx) {
             return None;
         }
         match self.rt.safety {
@@ -793,12 +798,12 @@ mod tests {
         let off = rt.alloc_words(1);
         job.run(move |upc| {
             if upc.mythread() == 0 {
-                set_subthread_context(true);
+                set_subthread_context(upc.ctx(), true);
                 // Calling a UPC op from a "sub-thread" context must panic.
                 let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     upc.memput(1, off, &[1]);
                 }));
-                set_subthread_context(false);
+                set_subthread_context(upc.ctx(), false);
                 if let Err(p) = r {
                     std::panic::resume_unwind(p);
                 }
@@ -815,9 +820,9 @@ mod tests {
         let off = rt.alloc_words(1);
         job.run(move |upc| {
             if upc.mythread() == 0 {
-                set_subthread_context(true);
+                set_subthread_context(upc.ctx(), true);
                 upc.memput(1, off, &[9]);
-                set_subthread_context(false);
+                set_subthread_context(upc.ctx(), false);
             }
             upc.barrier();
             if upc.mythread() == 1 {

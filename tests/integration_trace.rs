@@ -131,6 +131,43 @@ fn golden_trace_gups() {
     check_golden("gups_small.jsonl", &jsonl);
 }
 
+/// The thread→coroutine switch is invisible to the observability layer:
+/// the same workload traced on the OS-thread backend produces JSONL that is
+/// byte-identical to the committed golden — which `golden_trace_gups` and
+/// `golden_trace_uts` already check under the coroutine default. Same
+/// `(t, seq)` total order, same payloads, same eviction.
+#[test]
+fn golden_traces_identical_across_backends() {
+    use hupc::sim::{set_actor_backend_default, ActorBackend};
+    // Restore the auto default even if a trace assertion panics, so this
+    // test can't leak the OS-thread default into the rest of the binary.
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_actor_backend_default(None);
+        }
+    }
+    let _r = Restore;
+    set_actor_backend_default(Some(ActorBackend::OsThread));
+    let jsonl = traced_jsonl(GOLDEN_RING, || {
+        let r = run_gups(GupsConfig::small(4, 2, Routing::PerThread));
+        assert_eq!(r.errors, 0);
+    });
+    check_golden("gups_small.jsonl", &jsonl);
+    let uts = traced_jsonl(GOLDEN_RING_UTS, || {
+        let mut cfg = UtsConfig::small(4, 2, StealStrategy::LocalFirst, 7);
+        cfg.tree = hupc::uts::TreeParams::Binomial {
+            b0: 30,
+            m: 4,
+            q: 0.2,
+            seed: 7,
+        };
+        let r = run_uts(cfg);
+        assert!(r.total_nodes > 0);
+    });
+    check_golden("uts_small.jsonl", &uts);
+}
+
 #[test]
 fn golden_trace_coll_allreduce() {
     // A hierarchical allreduce on 2 nodes: the golden pins the CollBegin/
