@@ -1,0 +1,228 @@
+//! Sequential→parallel equivalence pins: the conservative parallel engine
+//! must be observationally identical to the sequential scheduler it
+//! parallelizes. Single-LP simulations (every existing app) must be
+//! *bit*-identical — same event log, same stats, same bypass decisions —
+//! because one LP on one worker runs the exact same protocol. Multi-LP
+//! simulations must agree on the committed `(t, seq)`-sorted event log and
+//! every virtual-time observable; only host-side counters (bypass hits,
+//! handoffs, heap ops) may differ.
+//!
+//! Corpus `.schedule` replays and policy-driven scenarios are pinned too: a
+//! schedule policy forces the sequential dispatch loop regardless of the
+//! configured backend, so replays are backend-independent by construction —
+//! these tests keep that contract honest.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use hupc_check::{find_scenario, Artifact, PolicyHandle, ARTIFACT_EXT};
+use hupc_sim::{
+    set_sim_backend_default, time, SimBackend, Simulation, Time, TraceEvent,
+};
+use proptest::prelude::*;
+
+/// Run `f` with the process-wide default sim backend forced to `b`,
+/// restoring auto afterwards (even on panic). Serialized so concurrent
+/// tests in this binary don't fight over the global.
+fn with_sim_backend<T>(b: SimBackend, f: impl FnOnce() -> T) -> T {
+    static LOCK: Mutex<()> = Mutex::new(());
+    let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_sim_backend_default(None);
+        }
+    }
+    let _r = Restore;
+    set_sim_backend_default(Some(b));
+    f()
+}
+
+fn splitmix(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A randomized workload over `lps` logical processes: per-LP mutex and
+/// resource contention (the intra-LP fast path), plus cross-LP
+/// fire-and-forget spawns when partitioned (the lookahead-bounded slow
+/// path). Returns every deterministic observable.
+fn partitioned_run(
+    seed: u64,
+    lps: usize,
+    backend: SimBackend,
+) -> (Vec<TraceEvent>, Time, u64, u64, usize) {
+    let mut sim = Simulation::new();
+    sim.set_sim_backend(backend);
+    sim.set_lp_count(lps);
+    sim.set_lookahead(time::us(1));
+    sim.kernel().record_event_log(true);
+    // Order-independent end-state witness (atomic sum over all actors).
+    let total = Arc::new(AtomicU64::new(0));
+    for lp in 0..lps {
+        let (m, res) = {
+            let mut k = sim.kernel();
+            (k.new_mutex(), k.new_resource(format!("r{lp}")))
+        };
+        let mut s = seed ^ (lp as u64).wrapping_mul(0xA5A5_A5A5);
+        let n_actors = 2 + (splitmix(&mut s) % 2) as usize;
+        for a in 0..n_actors {
+            let total = Arc::clone(&total);
+            let mut rng = splitmix(&mut s);
+            sim.spawn_on(lp, format!("lp{lp}a{a}"), move |ctx| {
+                for _ in 0..5 {
+                    ctx.advance(time::ns(1 + splitmix(&mut rng) % 40));
+                    ctx.mutex_lock(m);
+                    ctx.advance(time::ns(1 + splitmix(&mut rng) % 5));
+                    ctx.mutex_unlock(m);
+                    ctx.acquire(res, time::ns(10 + splitmix(&mut rng) % 30));
+                    total.fetch_add(1, Ordering::Relaxed);
+                }
+                if a == 0 && ctx.lp() + 1 < lps {
+                    // Cross-LP child: starts at `now + lookahead`.
+                    let t2 = Arc::clone(&total);
+                    let mut r2 = splitmix(&mut rng);
+                    ctx.spawn_on(ctx.lp() + 1, format!("x{lp}"), move |c| {
+                        c.advance(time::ns(1 + splitmix(&mut r2) % 20));
+                        t2.fetch_add(100, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+    }
+    let stats = sim.run_result().expect("workload cannot deadlock");
+    let log = sim.kernel().take_event_log();
+    (
+        log,
+        stats.end_time,
+        stats.events,
+        total.load(Ordering::Relaxed),
+        stats.actors,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random partitioned workloads: Sequential and Parallel(1/2/4) agree
+    /// on the sorted kernel event log, end time, event count, actor count
+    /// and end state — for every partition width.
+    #[test]
+    fn parallel_backends_agree_on_partitioned_runs(
+        seed in any::<u64>(),
+        lps_raw in 1u64..5,
+    ) {
+        let lps = lps_raw as usize;
+        let seq = partitioned_run(seed, lps, SimBackend::Sequential);
+        for n in [1usize, 2, 4] {
+            let par = partitioned_run(seed, lps, SimBackend::Parallel(n));
+            prop_assert_eq!(
+                &seq.0, &par.0,
+                "event logs diverged: seed {} lps {} workers {}", seed, lps, n
+            );
+            prop_assert_eq!(seq.1, par.1, "end time diverged");
+            prop_assert_eq!(seq.2, par.2, "event count diverged");
+            prop_assert_eq!(seq.3, par.3, "end state diverged");
+            prop_assert_eq!(seq.4, par.4, "actor count diverged");
+        }
+    }
+}
+
+/// Every committed corpus `.schedule` reproduces the *same* violation under
+/// the parallel backend default for n ∈ {1, 2, 4} as under sequential
+/// (replays install a policy, which pins dispatch to the sequential loop —
+/// this test keeps schedules portable across backend configuration).
+#[test]
+fn corpus_replays_identically_under_parallel_defaults() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("corpus dir must exist") {
+        let path = entry.unwrap().path();
+        if !path.extension().is_some_and(|x| x == ARTIFACT_EXT) {
+            continue;
+        }
+        let art = Artifact::parse(&std::fs::read_to_string(&path).unwrap())
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let replay = |b| {
+            with_sim_backend(b, || {
+                let v = art
+                    .replay()
+                    .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+                format!("{v:?}")
+            })
+        };
+        let seq = replay(SimBackend::Sequential);
+        for n in [1usize, 2, 4] {
+            assert_eq!(
+                seq,
+                replay(SimBackend::Parallel(n)),
+                "{}: Parallel({n}) disagrees on the replayed violation",
+                path.display()
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked >= 2, "corpus should hold the two mutation schedules");
+}
+
+/// Full-stack UPC scenarios explored with the same policy seed under
+/// sequential and parallel defaults: identical end state, end time and
+/// tie-break decisions.
+#[test]
+fn scenarios_agree_under_parallel_defaults() {
+    for name in ["split_barrier", "allreduce2", "retry_loss"] {
+        let s = find_scenario(name).unwrap();
+        for seed in [1u64, 7, 42] {
+            let run = |b| {
+                with_sim_backend(b, || {
+                    let p = PolicyHandle::random(seed);
+                    let out = s.run(&p, 0, true);
+                    assert!(
+                        out.violation.is_none(),
+                        "{name} seed {seed}: {:?}",
+                        out.violation
+                    );
+                    (out.end_state, out.end_time, out.decisions)
+                })
+            };
+            let seq = run(SimBackend::Sequential);
+            assert_eq!(
+                seq,
+                run(SimBackend::Parallel(4)),
+                "{name} seed {seed}: parallel default changed the run"
+            );
+        }
+    }
+}
+
+/// Single-LP simulations under `Parallel(n)` run the full worker machinery
+/// on one worker and must be *bit*-identical to sequential — stats and
+/// bypass decisions included, which is what keeps the committed golden
+/// JSONL traces backend-independent.
+#[test]
+fn single_lp_parallel_is_bit_identical_including_stats() {
+    let run = |backend| {
+        let mut sim = Simulation::new();
+        sim.set_sim_backend(backend);
+        sim.kernel().record_event_log(true);
+        let bar = sim.kernel().new_barrier(3);
+        for id in 0..3u64 {
+            sim.spawn(format!("w{id}"), move |ctx| {
+                for i in 0..8 {
+                    ctx.advance(time::ns(7 + id * 3 + i));
+                    ctx.barrier_wait(bar);
+                }
+            });
+        }
+        let stats = sim.run();
+        let log = sim.kernel().take_event_log();
+        (log, stats)
+    };
+    let seq = run(SimBackend::Sequential);
+    for n in [1usize, 2, 4] {
+        assert_eq!(seq, run(SimBackend::Parallel(n)), "Parallel({n}) diverged");
+    }
+}

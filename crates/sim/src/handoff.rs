@@ -7,13 +7,17 @@
 //! (The default coroutine backend needs none of this — a handoff there is a
 //! user-space context switch.)
 //!
-//! The wait is **spin-then-park**: the token lives in an atomic, and a
-//! waiter first spins on it for a short bounded burst — when the peer is
-//! about to pass the token (the common case in a tight simcall exchange)
-//! this resolves the handoff entirely in user space, with no futex sleep.
-//! Only if the token does not arrive within the burst does the waiter take
-//! the mutex and park on the condvar. Each `Handoff` has exactly one
-//! consumer, so consuming the token needs no CAS loop.
+//! On that thread backend — and only there; this is no longer the primary
+//! handoff path of the engine — the wait is **spin-then-park**: the token
+//! lives in an atomic, and a waiter first spins on it for a short bounded
+//! burst — when the peer is about to pass the token (the common case in a
+//! tight simcall exchange) this resolves the handoff entirely in user
+//! space, with no futex sleep. Only if the token does not arrive within
+//! the burst does the waiter take the mutex and park on the condvar. Each
+//! `Handoff` has exactly one consumer, so consuming the token needs no CAS
+//! loop. (The parallel backend's *worker* threads rendezvous differently:
+//! they block on the shared kernel's condvar waiting for LBTS to advance —
+//! see `engine::worker_loop`.)
 
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Condvar, Mutex, PoisonError};
