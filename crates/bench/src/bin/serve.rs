@@ -1,0 +1,102 @@
+//! Serving-path benchmark: throughput-vs-offered-load knee curve for the
+//! sharded PGAS KV service, overload shedding, and straggler tail-latency
+//! experiments.
+//!
+//! Always writes `BENCH_serve.json` in the working directory. With
+//! `--check <baseline.json>` the run fails (exit 1) when:
+//!   - sub-saturation p99 exceeds 2x the committed baseline,
+//!   - peak achieved throughput drops below half the committed baseline,
+//!   - the straggler experiment stops showing the tail-at-scale shape
+//!     (p999 must degrade ≥ 1.2x while p50 stays within 1.5x fault-free).
+//!
+//! All times are virtual, so the gate catches semantic regressions in the
+//! serving/runtime path, independent of host speed.
+
+use hupc_bench::exp::simcore::json_number;
+
+const GATED: [&str; 2] = ["sub_saturation_p99_us", "peak_krps"];
+
+fn main() {
+    let args = hupc_bench::parse_args();
+    let baseline = args.check.as_ref().map(|p| {
+        let s = std::fs::read_to_string(p)
+            .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", p.display()));
+        GATED.map(|key| {
+            json_number(&s, key).unwrap_or_else(|| panic!("no {key} in {}", p.display()))
+        })
+    });
+
+    let (tables, m) = hupc_bench::exp::serve::run(args.quick);
+    hupc_bench::report::emit(&args, &tables);
+
+    std::fs::write("BENCH_serve.json", m.to_json()).expect("cannot write BENCH_serve.json");
+    eprintln!("[wrote BENCH_serve.json]");
+
+    if let Some([base_p99, base_peak]) = baseline {
+        let mut failed = false;
+
+        // Latency gate: lower is better, so the ceiling is 2x the baseline.
+        // Quick runs sample fewer requests; keep a generous fixed ceiling.
+        let p99_ceiling = if args.quick {
+            (base_p99 * 2.0).max(200.0)
+        } else {
+            base_p99 * 2.0
+        };
+        if m.sub_saturation_p99_us > p99_ceiling {
+            eprintln!(
+                "PERF REGRESSION: sub_saturation_p99_us = {:.1} exceeds the {:.1} ceiling",
+                m.sub_saturation_p99_us, p99_ceiling
+            );
+            failed = true;
+        } else {
+            eprintln!(
+                "[perf check ok: sub_saturation_p99_us = {:.1} vs baseline {:.1}]",
+                m.sub_saturation_p99_us, base_p99
+            );
+        }
+
+        // Throughput gate: higher is better, floor at half the baseline.
+        let peak_floor = if args.quick {
+            base_peak / 4.0
+        } else {
+            base_peak / 2.0
+        };
+        if m.peak_krps < peak_floor {
+            eprintln!(
+                "PERF REGRESSION: peak_krps = {:.0} is below the {:.0} floor",
+                m.peak_krps, peak_floor
+            );
+            failed = true;
+        } else {
+            eprintln!(
+                "[perf check ok: peak_krps = {:.0} vs baseline {:.0}]",
+                m.peak_krps, base_peak
+            );
+        }
+
+        // Tail-at-scale shape: the straggler must fatten the tail without
+        // moving the median much — the thesis' motivating asymmetry.
+        if m.straggler_p999_us < m.fault_free_p999_us * 1.2 {
+            eprintln!(
+                "SHAPE REGRESSION: straggler p999 {:.1}µs not ≥1.2x fault-free {:.1}µs",
+                m.straggler_p999_us, m.fault_free_p999_us
+            );
+            failed = true;
+        } else if m.straggler_p50_us > m.fault_free_p50_us * 1.5 {
+            eprintln!(
+                "SHAPE REGRESSION: straggler p50 {:.1}µs exceeds 1.5x fault-free {:.1}µs",
+                m.straggler_p50_us, m.fault_free_p50_us
+            );
+            failed = true;
+        } else {
+            eprintln!(
+                "[tail shape ok: p999 {:.1}→{:.1}µs, p50 {:.1}→{:.1}µs]",
+                m.fault_free_p999_us, m.straggler_p999_us, m.fault_free_p50_us, m.straggler_p50_us
+            );
+        }
+
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

@@ -10,6 +10,7 @@ pub mod fig_4_4;
 pub mod fig_4_5;
 pub mod fig_4_6;
 pub mod hostkern;
+pub mod serve;
 pub mod simcore;
 pub mod table_3_1;
 #[cfg(feature = "trace")]

@@ -110,6 +110,7 @@ pub fn all_scenarios() -> Vec<Box<dyn Scenario>> {
         Box::new(Allreduce { three_level: false }),
         Box::new(Allreduce { three_level: true }),
         Box::new(RetryLoss),
+        Box::new(ServeKv),
         Box::new(LostUpdate),
         Box::new(MissedNotify),
     ]
@@ -190,6 +191,91 @@ fn outcome_from(
             decisions: policy.log(),
             violation: Some(violation_from_err(&e)),
         },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serving: sharded KV under open-loop load
+// ---------------------------------------------------------------------------
+
+/// The hupc-serve PGAS key-value service, shrunk to exploration size:
+/// 4 threads over 2 nodes serving a seeded open-loop request stream, with
+/// the linearizability-lite oracle (dense per-key committed versions,
+/// monotonic reads, no reads from the future, exact outcome accounting)
+/// judged over the run's logs. Crossed with 10% loss and a straggler plan —
+/// the serving path's retries, acks and epoch fan-in must stay correct no
+/// matter how ties are broken or packets are dropped.
+struct ServeKv;
+
+impl Scenario for ServeKv {
+    fn name(&self) -> &'static str {
+        "serve_kv"
+    }
+
+    fn about(&self) -> &'static str {
+        "sharded KV service, open-loop load: linearizability-lite oracle"
+    }
+
+    fn fault_labels(&self) -> Vec<&'static str> {
+        vec!["none", "loss10", "loss10_straggler"]
+    }
+
+    fn run(&self, policy: &PolicyHandle, fault: usize, fast_path: bool) -> Outcome {
+        let mut cfg = hupc_serve::ServeConfig::small(0x5E21);
+        cfg.upc = UpcConfig::test_default(4, 2);
+        cfg.traffic.requests_per_frontend = 24;
+        cfg.upc.gasnet.fault = match fault {
+            0 => None,
+            1 => Some(FaultPlan::new(31).loss(0.10)),
+            _ => Some(FaultPlan::new(37).loss(0.10).straggler(1, 3.0)),
+        };
+        let viol: ViolCell = Arc::new(Mutex::new(None));
+        let result = hupc_serve::run_serve_prepared(cfg.clone(), |k| {
+            policy.install(k);
+            k.set_fast_path(fast_path);
+        });
+        match result {
+            Ok(r) => {
+                if let Err(msg) = hupc_serve::verify_linearizable_lite(&r, cfg.traffic.batch_len)
+                {
+                    note_viol(&viol, format!("serve_kv oracle: {msg}"));
+                }
+                if r.failed > 0 {
+                    note_viol(
+                        &viol,
+                        format!("{} requests exhausted the transport retry budget", r.failed),
+                    );
+                }
+                let violation = viol.lock().unwrap().take().map(|detail| Violation {
+                    kind: ViolationKind::State,
+                    detail,
+                });
+                let end_state = if violation.is_none() {
+                    state_hash(&[
+                        r.end_state,
+                        r.completed,
+                        r.shed,
+                        r.hist.count,
+                        r.hist.sum,
+                        r.end_time,
+                    ])
+                } else {
+                    0
+                };
+                Outcome {
+                    end_state,
+                    end_time: r.end_time,
+                    decisions: policy.log(),
+                    violation,
+                }
+            }
+            Err(e) => Outcome {
+                end_state: 0,
+                end_time: err_time(&e),
+                decisions: policy.log(),
+                violation: Some(violation_from_err(&e)),
+            },
+        }
     }
 }
 

@@ -66,6 +66,7 @@ pub use hupc_topo as topo;
 pub use hupc_upc as upc;
 pub use hupc_uts as uts;
 pub use hupc_gups as gups;
+pub use hupc_serve as serve;
 #[cfg(feature = "trace")]
 pub use hupc_trace as trace;
 

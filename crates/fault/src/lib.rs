@@ -213,16 +213,35 @@ impl SplitMix64 {
 pub struct FaultInjector {
     plan: FaultPlan,
     rng: SimCell<SplitMix64>,
+    /// Wire traversals this injector actually perturbed (dropped or
+    /// jittered). Monotonic; a pure function of the drawn stream, so it is
+    /// as deterministic as the faults themselves.
+    perturbations: SimCell<u64>,
 }
 
 impl FaultInjector {
     pub fn new(plan: FaultPlan) -> Self {
         let rng = SimCell::new(SplitMix64(plan.seed));
-        FaultInjector { plan, rng }
+        FaultInjector {
+            plan,
+            rng,
+            perturbations: SimCell::new(0),
+        }
     }
 
     pub fn plan(&self) -> &FaultPlan {
         &self.plan
+    }
+
+    /// Number of traversals perturbed so far (drops + nonzero jitter).
+    ///
+    /// Request-serving layers snapshot this around each request to *tag* the
+    /// requests a fault actually touched — the clean/faulted latency split
+    /// that turns a fault plan into a tail-latency experiment. Stragglers and
+    /// degraded-NIC windows are not draws; consult
+    /// [`FaultPlan::cpu_slowdown`] / [`FaultPlan::nic_factor`] for those.
+    pub fn perturbations(&self) -> u64 {
+        self.perturbations.get()
     }
 
     /// Decide the fate of one wire traversal `src → dst`. Always draws the
@@ -233,6 +252,9 @@ impl FaultInjector {
         let (u_loss, u_jitter) = self.rng.with_mut(|r| (r.next_f64(), r.next_f64()));
         let dropped = u_loss < self.plan.loss_for(src, dst);
         let jitter = self.plan.jitter.sample(u_jitter);
+        if dropped || jitter > 0 {
+            self.perturbations.with_mut(|p| *p += 1);
+        }
         Xmit { dropped, jitter }
     }
 }
@@ -404,6 +426,39 @@ mod tests {
             nonzero += (xa.jitter > 0) as u32;
         }
         assert!(nonzero > 900, "exp jitter almost always positive, saw {nonzero}");
+    }
+
+    /// The perturbation counter advances exactly when a traversal is
+    /// dropped or jittered — never on clean deliveries — and two same-seed
+    /// injectors agree on it draw for draw.
+    #[test]
+    fn perturbation_counter_tracks_actual_faults() {
+        let clean = FaultInjector::new(FaultPlan::new(3));
+        for _ in 0..100 {
+            clean.xmit(0, 1);
+        }
+        assert_eq!(clean.perturbations(), 0);
+
+        let mk = || FaultInjector::new(FaultPlan::new(8).loss(0.3));
+        let (a, b) = (mk(), mk());
+        let mut manual = 0;
+        for _ in 0..500 {
+            let (xa, xb) = (a.xmit(0, 1), b.xmit(0, 1));
+            assert_eq!(xa, xb);
+            manual += xa.dropped as u64;
+            assert_eq!(a.perturbations(), manual);
+            assert_eq!(b.perturbations(), manual);
+        }
+        assert!(manual > 0, "0.3 loss over 500 draws must drop something");
+
+        let jittery = FaultInjector::new(
+            FaultPlan::new(8).jitter(Jitter::Uniform { max: time::us(10) }),
+        );
+        let mut touched = 0;
+        for _ in 0..200 {
+            touched += (jittery.xmit(1, 0).jitter > 0) as u64;
+        }
+        assert_eq!(jittery.perturbations(), touched);
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! Multi-LP serving model: the same open-loop workload on the parallel DES
+//! backend, one logical process per node.
+//!
+//! The PGAS mode ([`crate::service`]) runs the full `Upc` runtime, whose
+//! kernel-level barriers and segment state make the job structurally
+//! single-LP (it stays bit-identical *under* the parallel backend, on one
+//! LP). This model is the complement: it strips the service to its queueing
+//! skeleton — frontends pacing open-loop arrivals, shard servers with a
+//! FIFO service resource, a lookahead-bounded network in between — and
+//! partitions it one-LP-per-node, so a serving simulation actually spreads
+//! across host cores. Cross-node requests are fire-and-forget spawns onto
+//! the owner's LP at `now + net_delay` (the cross-LP event contract);
+//! completions hop back the same way. Shared aggregates cross LPs only
+//! through commutative sinks (atomics + the metrics registry), so results
+//! are identical on `SimBackend::Sequential` and any `Parallel(n)` — the
+//! tier-1 pin.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use hupc_sim::{time, SimBackend, SimCell, Simulation, Time};
+use hupc_trace::{Hist, Loc, MetricsRegistry};
+
+use crate::shard::ShardMap;
+use crate::traffic::{OpKind, TrafficConfig};
+
+/// Model-mode configuration.
+#[derive(Clone, Debug)]
+pub struct ModelConfig {
+    /// Nodes = logical processes.
+    pub nodes: usize,
+    pub frontends_per_node: usize,
+    /// Shard servers per node, each a FIFO service resource.
+    pub shards_per_node: usize,
+    pub traffic: TrafficConfig,
+    pub partitions_per_shard: usize,
+    pub keys_per_partition: usize,
+    /// Service time per applied update / served read, ns.
+    pub service_ns: u64,
+    /// One-way network delay between nodes; also the engine lookahead.
+    pub net_delay: Time,
+    /// Shed at the owner if the request is already this late on arrival.
+    pub shed_after: Option<Time>,
+    /// Simulation backend to run under.
+    pub backend: SimBackend,
+}
+
+impl ModelConfig {
+    pub fn small(seed: u64, backend: SimBackend) -> ModelConfig {
+        ModelConfig {
+            nodes: 4,
+            frontends_per_node: 2,
+            shards_per_node: 2,
+            traffic: TrafficConfig {
+                process: crate::traffic::ArrivalProcess::Poisson {
+                    mean_gap: time::us(10),
+                },
+                mix: crate::traffic::OpMix::read_heavy(),
+                requests_per_frontend: 80,
+                batch_len: 4,
+                seed,
+            },
+            partitions_per_shard: 2,
+            keys_per_partition: 16,
+            service_ns: 500,
+            net_delay: time::us(2),
+            shed_after: None,
+            backend,
+        }
+    }
+}
+
+/// One frontend's completion log: `(arrival, complete, key)` per request.
+type CompletionLog = Vec<(Time, Time, u64)>;
+
+/// What a model run produces. Everything here is a deterministic function
+/// of the config — identical across backends.
+#[derive(Clone, Debug, Default)]
+pub struct ModelResult {
+    pub hist: Hist,
+    pub generated: u64,
+    pub completed: u64,
+    pub shed: u64,
+    pub end_time: Time,
+    /// `(arrival, complete, key)` for every completed request, sorted — the
+    /// canonical request log for cross-backend comparison.
+    pub log: Vec<(Time, Time, u64)>,
+}
+
+impl ModelResult {
+    pub fn throughput_rps(&self) -> f64 {
+        if self.end_time == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / time::as_secs_f64(self.end_time)
+    }
+}
+
+/// Run the multi-LP serving model.
+pub fn run_model(cfg: ModelConfig) -> ModelResult {
+    let n_shards = cfg.nodes * cfg.shards_per_node;
+    let shard_map = Arc::new(ShardMap::flat(
+        n_shards,
+        cfg.partitions_per_shard,
+        cfg.keys_per_partition,
+    ));
+    let mut sim = Simulation::new();
+    sim.set_sim_backend(cfg.backend);
+    sim.set_lp_count(cfg.nodes);
+    sim.set_lookahead(cfg.net_delay.max(1));
+
+    // One FIFO service resource per shard server, homed on its node's LP.
+    let resources: Arc<Vec<_>> = {
+        let mut k = sim.kernel();
+        Arc::new(
+            (0..n_shards)
+                .map(|s| k.new_resource(format!("shard{s}")))
+                .collect(),
+        )
+    };
+
+    // Per-shard predicted queue horizon, for the admission decision. Only
+    // handlers on the shard's own LP touch it (same safety argument as the
+    // per-frontend logs below).
+    let busy: Arc<Vec<SimCell<Time>>> =
+        Arc::new((0..n_shards).map(|_| SimCell::new(0)).collect());
+    let metrics = Arc::new(MetricsRegistry::new());
+    let completed = Arc::new(AtomicU64::new(0));
+    let shed = Arc::new(AtomicU64::new(0));
+    let generated = Arc::new(AtomicU64::new(0));
+    // Per-frontend completion logs: only actors homed on the frontend's own
+    // LP touch its cell, so the parallel backend never races it.
+    let n_frontends = cfg.nodes * cfg.frontends_per_node;
+    let logs: Arc<Vec<SimCell<CompletionLog>>> =
+        Arc::new((0..n_frontends).map(|_| SimCell::new(Vec::new())).collect());
+
+    let cfg = Arc::new(cfg);
+    for node in 0..cfg.nodes {
+        for i in 0..cfg.frontends_per_node {
+            let f = node * cfg.frontends_per_node + i;
+            let cfg = Arc::clone(&cfg);
+            let shard_map = Arc::clone(&shard_map);
+            let resources = Arc::clone(&resources);
+            let busy = Arc::clone(&busy);
+            let metrics = Arc::clone(&metrics);
+            let completed = Arc::clone(&completed);
+            let shed = Arc::clone(&shed);
+            let generated = Arc::clone(&generated);
+            let logs = Arc::clone(&logs);
+            sim.spawn_on(node, format!("frontend{f}"), move |ctx| {
+                let sched = cfg.traffic.schedule_for(f, &shard_map);
+                generated.fetch_add(sched.len() as u64, Ordering::Relaxed);
+                for req in sched {
+                    // Open loop: pace to the arrival clock, never to
+                    // completions.
+                    let now = ctx.now();
+                    if req.arrival > now {
+                        ctx.advance(req.arrival - now);
+                    }
+                    let owner = shard_map.owner_of(req.key);
+                    let owner_lp = owner / cfg.shards_per_node;
+                    let updates = match req.op {
+                        OpKind::Get | OpKind::Put => 1,
+                        OpKind::Batch => cfg.traffic.batch_len as u64,
+                    };
+                    let res = resources[owner];
+                    let busy2 = Arc::clone(&busy);
+                    let cfg2 = Arc::clone(&cfg);
+                    let metrics2 = Arc::clone(&metrics);
+                    let completed2 = Arc::clone(&completed);
+                    let shed2 = Arc::clone(&shed);
+                    let logs2 = Arc::clone(&logs);
+                    let arrival = req.arrival;
+                    let key = req.key;
+                    let my_lp = node;
+                    ctx.spawn_on(owner_lp, format!("rq{f}k{key}"), move |hc| {
+                        let svc = time::ns(cfg2.service_ns * updates);
+                        // Owner-side admission control: predicted sojourn
+                        // (queue horizon + service − arrival) beyond the
+                        // bound ⇒ shed instead of deepening the queue.
+                        let admitted = busy2[owner].with_mut(|b| {
+                            let start = (*b).max(hc.now());
+                            if let Some(bound) = cfg2.shed_after {
+                                if (start + svc).saturating_sub(arrival) > bound {
+                                    return false;
+                                }
+                            }
+                            *b = start + svc;
+                            true
+                        });
+                        if !admitted {
+                            shed2.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                        hc.acquire(res, svc);
+                        let logs3 = Arc::clone(&logs2);
+                        hc.spawn_on(my_lp, format!("done{f}k{key}"), move |dc| {
+                            let lat = dc.now() - arrival;
+                            metrics2.observe(
+                                "serve.latency",
+                                Loc::new(my_lp as u32, f as u32),
+                                lat,
+                            );
+                            completed2.fetch_add(1, Ordering::Relaxed);
+                            logs3[f].with_mut(|l| l.push((arrival, dc.now(), key)));
+                        });
+                    });
+                }
+            });
+        }
+    }
+    let stats = sim.run();
+
+    let mut log: Vec<(Time, Time, u64)> = Vec::new();
+    for cell in logs.iter() {
+        cell.with(|l| log.extend_from_slice(l));
+    }
+    log.sort_unstable();
+    ModelResult {
+        hist: metrics.histogram_total("serve.latency"),
+        generated: generated.load(Ordering::Relaxed),
+        completed: completed.load(Ordering::Relaxed),
+        shed: shed.load(Ordering::Relaxed),
+        end_time: stats.end_time,
+        log,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_serves_everything_without_shedding() {
+        let r = run_model(ModelConfig::small(11, SimBackend::Sequential));
+        assert_eq!(r.generated, 4 * 2 * 80);
+        assert_eq!(r.completed, r.generated);
+        assert_eq!(r.shed, 0);
+        assert_eq!(r.log.len() as u64, r.completed);
+        assert!(r.hist.p50() > 0);
+        assert!(r.hist.p999() >= r.hist.p99() && r.hist.p99() >= r.hist.p50());
+    }
+
+    #[test]
+    fn overload_sheds_and_bounds_the_served_tail() {
+        let mut hot = ModelConfig::small(12, SimBackend::Sequential);
+        // Offered load far beyond capacity…
+        hot.traffic.process = crate::traffic::ArrivalProcess::Poisson {
+            mean_gap: time::ns(200),
+        };
+        hot.service_ns = 4_000;
+        let unbounded = run_model(hot.clone());
+        // …queues unboundedly without admission control…
+        assert_eq!(unbounded.shed, 0);
+        // …and sheds with it, with a visibly smaller served tail.
+        let mut guarded = hot;
+        guarded.shed_after = Some(time::us(50));
+        let shedding = run_model(guarded);
+        assert!(shedding.shed > 0, "overload must trigger shedding");
+        assert!(
+            shedding.hist.p999() < unbounded.hist.p999(),
+            "shedding {} vs unbounded {}",
+            shedding.hist.p999(),
+            unbounded.hist.p999()
+        );
+    }
+}

@@ -68,8 +68,16 @@ pub struct Hist {
     pub buckets: Vec<u64>,
 }
 
+impl Default for Hist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Hist {
-    fn new() -> Hist {
+    /// An empty histogram (public so aggregation layers — e.g. the serving
+    /// benchmark merging per-shard latency — can fold snapshots together).
+    pub fn new() -> Hist {
         Hist {
             count: 0,
             sum: 0,
@@ -79,7 +87,22 @@ impl Hist {
         }
     }
 
-    fn observe(&mut self, v: u64) {
+    /// Fold `other` into `self` (the histogram of the union multiset).
+    pub fn merge(&mut self, other: &Hist) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        for (b, n) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += n;
+        }
+    }
+
+    /// Record one observation (public so layers that keep private
+    /// histograms — outside any registry — can reuse the bucketing).
+    pub fn observe(&mut self, v: u64) {
         self.count += 1;
         self.sum = self.sum.saturating_add(v);
         self.min = self.min.min(v);
@@ -88,13 +111,79 @@ impl Hist {
     }
 
     /// Bucket index for a value: number of significant bits.
+    ///
+    /// Boundary audit (pinned by `bucket_edges_at_exact_powers_of_two`): a
+    /// value exactly equal to a power of two `2^k` has `k+1` significant
+    /// bits and therefore lands in bucket `k+1` — the bucket covering
+    /// `[2^k, 2^(k+1))` — never in bucket `k`, whose half-open range
+    /// `[2^(k-1), 2^k)` excludes its upper edge. The symmetric edge on the
+    /// estimation side: bucket `i`'s largest member is `2^i - 1`, not
+    /// `2^i` (which belongs to bucket `i+1`); [`Hist::percentile`] must use
+    /// the former or the p ≤ 2·exact quantile bound breaks at exact powers
+    /// of two.
     pub fn bucket(v: u64) -> usize {
         (64 - v.leading_zeros()) as usize
+    }
+
+    /// Largest value bucket `i` can contain (`2^i - 1`; 0 for bucket 0).
+    /// This is the conservative upper-edge representative percentile
+    /// extraction reports.
+    pub fn bucket_high(i: usize) -> u64 {
+        if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
     }
 
     /// Mean (integer division; metrics are integer-valued by design).
     pub fn mean(&self) -> u64 {
         self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Quantile estimate from the pow2 buckets: the upper edge of the
+    /// bucket holding the rank-`⌈q·count⌉` observation (ranks are
+    /// 1-based), clamped to the exact observed `max`. `q` is given as the
+    /// ratio `q_num / q_den`, e.g. `percentile(99, 100)` for p99.
+    ///
+    /// Guarantees (pinned by unit + property tests):
+    /// * `exact ≤ estimate ≤ max(2·exact − 1, exact)` where `exact` is the
+    ///   same-rank quantile of the exact sorted sample — the pow2 buckets
+    ///   bound the relative error by 2x from above, never below;
+    /// * an empty histogram reports 0; a one-sample histogram reports a
+    ///   value in `[sample, 2·sample − 1]` (and exactly `sample` when the
+    ///   sample is the histogram max, which it always is — so exact);
+    /// * monotone in `q`.
+    pub fn percentile(&self, q_num: u64, q_den: u64) -> u64 {
+        assert!(q_den > 0 && q_num <= q_den, "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        // 1-based target rank; q = 0 degenerates to the minimum (rank 1).
+        let rank = ((self.count as u128 * q_num as u128).div_ceil(q_den as u128) as u64).max(1);
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_high(i).min(self.max).max(self.min);
+            }
+        }
+        self.max // unreachable when counts are consistent
+    }
+
+    /// Median estimate (see [`Hist::percentile`]).
+    pub fn p50(&self) -> u64 {
+        self.percentile(50, 100)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99, 100)
+    }
+
+    /// 99.9th-percentile estimate.
+    pub fn p999(&self) -> u64 {
+        self.percentile(999, 1000)
     }
 }
 
@@ -250,6 +339,20 @@ impl MetricsRegistry {
         }
     }
 
+    /// Merge of a histogram across every location it was recorded at
+    /// (empty histogram when the name was never observed).
+    pub fn histogram_total(&self, name: &'static str) -> Hist {
+        let mut out = Hist::new();
+        for ((n, _), m) in self.lock().iter() {
+            if *n == name {
+                if let Metric::Histogram(h) = m {
+                    out.merge(h);
+                }
+            }
+        }
+        out
+    }
+
     /// Deterministic snapshot: sorted by (name, loc).
     pub fn snapshot(&self) -> MetricsSnapshot {
         let m = self.lock();
@@ -309,6 +412,117 @@ mod tests {
         assert_eq!(h.buckets[2], 2); // 2, 3
         assert_eq!(h.buckets[3], 1); // 4
         assert_eq!(h.buckets[11], 1); // 1024
+    }
+
+    /// Regression pin for the pow2 bucket-edge audit: a value exactly at a
+    /// bucket edge (`v == 2^k`) belongs to the *upper* bucket `k+1` — the
+    /// half-open `[2^(k-1), 2^k)` convention excludes its right edge — and
+    /// the largest member of bucket `i` is `2^i - 1`, never `2^i`. p999
+    /// correctness rides on both: misplacing edge values by one bucket
+    /// doubles (or halves) the reported tail.
+    #[test]
+    fn bucket_edges_at_exact_powers_of_two() {
+        for k in 0..64usize {
+            let edge = 1u64 << k;
+            assert_eq!(Hist::bucket(edge), k + 1, "2^{k} must land in bucket {}", k + 1);
+            if k >= 1 {
+                assert_eq!(Hist::bucket(edge - 1), k, "2^{k}-1 must stay in bucket {k}");
+            }
+            if (1..63).contains(&k) {
+                assert_eq!(Hist::bucket(edge + 1), k + 1, "2^{k}+1 shares bucket {}", k + 1);
+            }
+            assert_eq!(Hist::bucket_high(k + 1), (edge << 1).wrapping_sub(1));
+        }
+        assert_eq!(Hist::bucket(u64::MAX), 64);
+        assert_eq!(Hist::bucket_high(64), u64::MAX);
+        assert_eq!(Hist::bucket_high(0), 0);
+        // A histogram holding only exact powers of two: every percentile
+        // estimate must stay within [exact, 2*exact - 1].
+        let mut h = Hist::new();
+        for k in 0..20 {
+            h.observe(1u64 << k);
+        }
+        let p50 = h.p50();
+        let exact = 1u64 << 9; // rank 10 of 20
+        assert!(p50 >= exact && p50 < 2 * exact, "p50 {p50} vs exact {exact}");
+    }
+
+    /// Exact sorted-sample quantile with the same 1-based ceil-rank rule
+    /// `percentile` uses.
+    fn exact_quantile(sorted: &[u64], q_num: u64, q_den: u64) -> u64 {
+        let rank = ((sorted.len() as u64 * q_num).div_ceil(q_den)).max(1);
+        sorted[rank as usize - 1]
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        let empty = Hist::new();
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.p999(), 0);
+        let mut one = Hist::new();
+        one.observe(777);
+        // Single sample: clamping to the observed max makes it exact.
+        assert_eq!(one.p50(), 777);
+        assert_eq!(one.p99(), 777);
+        assert_eq!(one.p999(), 777);
+        let mut zeros = Hist::new();
+        for _ in 0..10 {
+            zeros.observe(0);
+        }
+        assert_eq!(zeros.p999(), 0);
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_q() {
+        let mut h = Hist::new();
+        for v in [3u64, 9, 17, 90, 1000, 5, 64, 128, 2] {
+            h.observe(v);
+        }
+        let mut last = 0;
+        for q in 0..=100 {
+            let p = h.percentile(q, 100);
+            assert!(p >= last, "q={q}: {p} < {last}");
+            last = p;
+        }
+        assert_eq!(h.percentile(100, 100), 1000); // pmax is exact (clamped)
+    }
+
+    #[test]
+    fn percentile_brackets_exact_quantiles_on_fixed_samples() {
+        let samples: Vec<u64> = (0..500).map(|i: u64| (i * i * 37 + 11) % 10_000).collect();
+        let mut h = Hist::new();
+        for &v in &samples {
+            h.observe(v);
+        }
+        let mut sorted = samples;
+        sorted.sort_unstable();
+        for (num, den) in [(50u64, 100u64), (90, 100), (99, 100), (999, 1000)] {
+            let exact = exact_quantile(&sorted, num, den);
+            let est = h.percentile(num, den);
+            assert!(est >= exact, "p{num}/{den}: est {est} < exact {exact}");
+            assert!(
+                est <= (2 * exact.max(1) - 1).max(exact),
+                "p{num}/{den}: est {est} > 2x exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_union_of_observations() {
+        let (mut a, mut b, mut whole) = (Hist::new(), Hist::new(), Hist::new());
+        for v in 0..100u64 {
+            if v % 3 == 0 {
+                a.observe(v * 7);
+            } else {
+                b.observe(v * 7);
+            }
+            whole.observe(v * 7);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        let mut with_empty = whole.clone();
+        with_empty.merge(&Hist::new());
+        assert_eq!(with_empty, whole);
     }
 
     #[test]

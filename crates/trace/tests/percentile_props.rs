@@ -1,0 +1,58 @@
+//! Property pins for pow2-bucket percentile extraction: on arbitrary
+//! workloads the histogram estimate must bracket the exact sorted-sample
+//! quantile from above within the 2x bucket-resolution bound, for every
+//! quantile the serving stack reports (p50/p99/p999) and a sweep of others.
+
+use hupc_trace::{Hist, Loc, MetricsRegistry};
+use proptest::prelude::*;
+
+/// Exact quantile under the same 1-based ceil-rank rule `Hist::percentile`
+/// documents.
+fn exact_quantile(sorted: &[u64], q_num: u64, q_den: u64) -> u64 {
+    let rank = ((sorted.len() as u128 * q_num as u128).div_ceil(q_den as u128) as usize).max(1);
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// exact ≤ estimate ≤ max(2·exact − 1, exact) on random multisets,
+    /// including values straddling bucket edges.
+    #[test]
+    fn percentile_brackets_exact_quantiles(
+        values in proptest::collection::vec(0u64..1_000_000, 1..400),
+        q_num in 1u64..1000,
+    ) {
+        let mut h = Hist::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        let mut sorted = values;
+        sorted.sort_unstable();
+        for (num, den) in [(q_num, 1000), (50, 100), (99, 100), (999, 1000)] {
+            let exact = exact_quantile(&sorted, num, den);
+            let est = h.percentile(num, den);
+            prop_assert!(est >= exact, "p{}/{}: est {} < exact {}", num, den, est, exact);
+            let ceil = (2u64.saturating_mul(exact.max(1)) - 1).max(exact);
+            prop_assert!(est <= ceil, "p{}/{}: est {} > bound {}", num, den, est, ceil);
+        }
+    }
+
+    /// Merging per-location histograms then extracting equals extracting
+    /// from one histogram fed the union — the registry aggregation the
+    /// serving stack uses cannot change any percentile.
+    #[test]
+    fn registry_total_matches_direct_union(
+        values in proptest::collection::vec(0u64..100_000, 1..200),
+    ) {
+        let reg = MetricsRegistry::new();
+        let mut direct = Hist::new();
+        for (i, &v) in values.iter().enumerate() {
+            reg.observe("lat", Loc::new((i % 3) as u32, (i % 5) as u32), v);
+            direct.observe(v);
+        }
+        let merged = reg.histogram_total("lat");
+        prop_assert_eq!(&merged, &direct);
+        prop_assert_eq!(merged.p999(), direct.p999());
+    }
+}
