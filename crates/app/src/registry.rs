@@ -1,0 +1,102 @@
+//! The workload registry: an explicit list, no link-time magic.
+//!
+//! Registration is a plain function call — [`register_builtin`] names every
+//! built-in app — so the full set is greppable and the no-std-linker tricks
+//! (`inventory`-style distributed slices) stay out of the build.
+
+use std::sync::{Arc, OnceLock};
+
+use crate::workload::Workload;
+
+/// A named collection of workloads.
+#[derive(Default)]
+pub struct Registry {
+    items: Vec<Arc<dyn Workload>>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Add a workload. Panics on a duplicate name — two apps answering to
+    /// the same key is a programming error, not a runtime condition.
+    pub fn register(&mut self, w: Arc<dyn Workload>) {
+        assert!(
+            self.get(w.name()).is_none(),
+            "duplicate workload name {:?}",
+            w.name()
+        );
+        self.items.push(w);
+    }
+
+    pub fn get(&self, name: &str) -> Option<Arc<dyn Workload>> {
+        self.items.iter().find(|w| w.name() == name).cloned()
+    }
+
+    /// Registration order (the sweep order of `all_experiments`).
+    pub fn names(&self) -> Vec<&'static str> {
+        self.items.iter().map(|w| w.name()).collect()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<dyn Workload>> {
+        self.items.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// A fresh registry holding every built-in workload.
+    pub fn builtin() -> Registry {
+        let mut r = Registry::new();
+        register_builtin(&mut r);
+        r
+    }
+
+    /// The process-global registry (built-ins, lazily constructed).
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::builtin)
+    }
+}
+
+/// Every built-in workload, in sweep order: the four migrated thesis apps,
+/// then the breadth wave.
+pub fn register_builtin(reg: &mut Registry) {
+    reg.register(Arc::new(crate::adapters::UtsWorkload));
+    reg.register(Arc::new(crate::adapters::FtWorkload));
+    reg.register(Arc::new(crate::adapters::GupsWorkload));
+    reg.register(Arc::new(crate::adapters::StreamWorkload));
+    reg.register(Arc::new(crate::md::MdWorkload));
+    reg.register(Arc::new(crate::cg::CgWorkload));
+    reg.register(Arc::new(crate::stencil2d::Stencil2dWorkload));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_names_are_stable() {
+        let r = Registry::builtin();
+        assert_eq!(
+            r.names(),
+            vec!["uts", "ft", "gups", "stream", "md", "cg", "stencil2d"]
+        );
+        assert!(r.get("uts").is_some());
+        assert!(r.get("nope").is_none());
+        assert_eq!(Registry::global().len(), r.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate workload name")]
+    fn duplicate_registration_panics() {
+        let mut r = Registry::builtin();
+        r.register(Arc::new(crate::adapters::UtsWorkload));
+    }
+}

@@ -7,7 +7,7 @@
 //! allreduce speedup drops below 2x — or, on full (non `--quick`) runs,
 //! below half the committed baseline — the CI perf-smoke gate.
 
-use hupc_bench::exp::simcore::json_number;
+use hupc_bench::{baseline_metrics, enforce_gates, Gate};
 
 /// The gated metrics: hierarchical must stay at least 2x ahead of flat.
 const GATED: [&str; 2] = ["bcast_speedup", "allreduce_speedup"];
@@ -16,13 +16,7 @@ fn main() {
     let args = hupc_bench::parse_args();
     // Read the baseline up front: `--check BENCH_coll.json` compares
     // against the committed file this run is about to overwrite.
-    let baseline = args.check.as_ref().map(|p| {
-        let s = std::fs::read_to_string(p)
-            .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", p.display()));
-        GATED.map(|key| {
-            json_number(&s, key).unwrap_or_else(|| panic!("no {key} in {}", p.display()))
-        })
-    });
+    let baseline = args.check.as_ref().map(|p| baseline_metrics(p, &GATED));
 
     let (tables, metrics) = hupc_bench::exp::coll::run(args.quick);
     hupc_bench::report::emit(&args, &tables);
@@ -32,20 +26,17 @@ fn main() {
 
     if let Some(base) = baseline {
         let now = [metrics.bcast_speedup, metrics.allreduce_speedup];
-        let mut failed = false;
-        for ((key, now), base) in GATED.iter().zip(now).zip(base) {
-            // Quick runs use a smaller machine slice, so the committed
-            // full-scale baseline only tightens the floor on full runs.
-            let floor = if args.quick { 2.0 } else { (base / 2.0).max(2.0) };
-            if now < floor {
-                eprintln!("PERF REGRESSION: {key} = {now:.2}x is below the {floor:.2}x floor");
-                failed = true;
-            } else {
-                eprintln!("[perf check ok: {key} = {now:.2}x vs baseline {base:.2}x]");
-            }
-        }
-        if failed {
-            std::process::exit(1);
-        }
+        let gates: Vec<Gate> = GATED
+            .iter()
+            .zip(now)
+            .zip(&base)
+            .map(|((key, now), base)| {
+                // Quick runs use a smaller machine slice, so the committed
+                // full-scale baseline only tightens the floor on full runs.
+                let floor = if args.quick { 2.0 } else { (base / 2.0).max(2.0) };
+                Gate::at_least(*key, now, floor)
+            })
+            .collect();
+        enforce_gates(&[], &gates);
     }
 }

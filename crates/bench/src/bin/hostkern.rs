@@ -5,7 +5,7 @@
 //! `--check <baseline.json>` the run fails (exit 1) when any headline
 //! metric fell below half the baseline's — the CI perf-smoke gate.
 
-use hupc_bench::exp::simcore::json_number;
+use hupc_bench::{baseline_metrics, enforce_gates, Gate};
 
 /// The gated metrics: each must stay above half its baseline value.
 const GATED: [&str; 3] = [
@@ -18,13 +18,7 @@ fn main() {
     let args = hupc_bench::parse_args();
     // Read the baseline up front: `--check BENCH_hostkern.json` compares
     // against the committed file this run is about to overwrite.
-    let baseline = args.check.as_ref().map(|p| {
-        let s = std::fs::read_to_string(p)
-            .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", p.display()));
-        GATED.map(|key| {
-            json_number(&s, key).unwrap_or_else(|| panic!("no {key} in {}", p.display()))
-        })
-    });
+    let baseline = args.check.as_ref().map(|p| baseline_metrics(p, &GATED));
 
     let (tables, metrics) = hupc_bench::exp::hostkern::run(args.quick);
     hupc_bench::report::emit(&args, &tables);
@@ -39,19 +33,12 @@ fn main() {
             metrics.fft_radix4_mflops,
             metrics.bulk_zero_copy_melems_s,
         ];
-        let mut failed = false;
-        for ((key, now), base) in GATED.iter().zip(now).zip(base) {
-            if now < base / 2.0 {
-                eprintln!(
-                    "PERF REGRESSION: {key} = {now:.1} is less than half the baseline {base:.1}"
-                );
-                failed = true;
-            } else {
-                eprintln!("[perf check ok: {key} = {now:.1} vs baseline {base:.1}]");
-            }
-        }
-        if failed {
-            std::process::exit(1);
-        }
+        let gates: Vec<Gate> = GATED
+            .iter()
+            .zip(now)
+            .zip(&base)
+            .map(|((key, now), base)| Gate::at_least(*key, now, base / 2.0))
+            .collect();
+        enforce_gates(&[], &gates);
     }
 }

@@ -12,19 +12,13 @@
 //! All times are virtual, so the gate catches semantic regressions in the
 //! serving/runtime path, independent of host speed.
 
-use hupc_bench::exp::simcore::json_number;
+use hupc_bench::{baseline_metrics, enforce_gates, Gate};
 
 const GATED: [&str; 2] = ["sub_saturation_p99_us", "peak_krps"];
 
 fn main() {
     let args = hupc_bench::parse_args();
-    let baseline = args.check.as_ref().map(|p| {
-        let s = std::fs::read_to_string(p)
-            .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", p.display()));
-        GATED.map(|key| {
-            json_number(&s, key).unwrap_or_else(|| panic!("no {key} in {}", p.display()))
-        })
-    });
+    let baseline = args.check.as_ref().map(|p| baseline_metrics(p, &GATED));
 
     let (tables, m) = hupc_bench::exp::serve::run(args.quick);
     hupc_bench::report::emit(&args, &tables);
@@ -32,71 +26,40 @@ fn main() {
     std::fs::write("BENCH_serve.json", m.to_json()).expect("cannot write BENCH_serve.json");
     eprintln!("[wrote BENCH_serve.json]");
 
-    if let Some([base_p99, base_peak]) = baseline {
-        let mut failed = false;
-
-        // Latency gate: lower is better, so the ceiling is 2x the baseline.
-        // Quick runs sample fewer requests; keep a generous fixed ceiling.
+    if let Some(base) = baseline {
+        let (base_p99, base_peak) = (base[0], base[1]);
+        // Latency ceiling is 2x the baseline (quick runs sample fewer
+        // requests, so keep a generous fixed floor on the ceiling); the
+        // throughput floor is half the baseline (a quarter on quick runs).
         let p99_ceiling = if args.quick {
             (base_p99 * 2.0).max(200.0)
         } else {
             base_p99 * 2.0
         };
-        if m.sub_saturation_p99_us > p99_ceiling {
-            eprintln!(
-                "PERF REGRESSION: sub_saturation_p99_us = {:.1} exceeds the {:.1} ceiling",
-                m.sub_saturation_p99_us, p99_ceiling
-            );
-            failed = true;
-        } else {
-            eprintln!(
-                "[perf check ok: sub_saturation_p99_us = {:.1} vs baseline {:.1}]",
-                m.sub_saturation_p99_us, base_p99
-            );
-        }
-
-        // Throughput gate: higher is better, floor at half the baseline.
         let peak_floor = if args.quick {
             base_peak / 4.0
         } else {
             base_peak / 2.0
         };
-        if m.peak_krps < peak_floor {
-            eprintln!(
-                "PERF REGRESSION: peak_krps = {:.0} is below the {:.0} floor",
-                m.peak_krps, peak_floor
-            );
-            failed = true;
-        } else {
-            eprintln!(
-                "[perf check ok: peak_krps = {:.0} vs baseline {:.0}]",
-                m.peak_krps, base_peak
-            );
-        }
-
-        // Tail-at-scale shape: the straggler must fatten the tail without
-        // moving the median much — the thesis' motivating asymmetry.
-        if m.straggler_p999_us < m.fault_free_p999_us * 1.2 {
-            eprintln!(
-                "SHAPE REGRESSION: straggler p999 {:.1}µs not ≥1.2x fault-free {:.1}µs",
-                m.straggler_p999_us, m.fault_free_p999_us
-            );
-            failed = true;
-        } else if m.straggler_p50_us > m.fault_free_p50_us * 1.5 {
-            eprintln!(
-                "SHAPE REGRESSION: straggler p50 {:.1}µs exceeds 1.5x fault-free {:.1}µs",
-                m.straggler_p50_us, m.fault_free_p50_us
-            );
-            failed = true;
-        } else {
-            eprintln!(
-                "[tail shape ok: p999 {:.1}→{:.1}µs, p50 {:.1}→{:.1}µs]",
-                m.fault_free_p999_us, m.straggler_p999_us, m.fault_free_p50_us, m.straggler_p50_us
-            );
-        }
-
-        if failed {
-            std::process::exit(1);
-        }
+        enforce_gates(
+            &[],
+            &[
+                Gate::at_most("sub_saturation_p99_us", m.sub_saturation_p99_us, p99_ceiling),
+                Gate::at_least("peak_krps", m.peak_krps, peak_floor),
+                // Tail-at-scale shape: the straggler must fatten the tail
+                // without moving the median much — the thesis' motivating
+                // asymmetry.
+                Gate::at_least(
+                    "straggler_p999_ratio",
+                    m.straggler_p999_us / m.fault_free_p999_us,
+                    1.2,
+                ),
+                Gate::at_most(
+                    "straggler_p50_ratio",
+                    m.straggler_p50_us / m.fault_free_p50_us,
+                    1.5,
+                ),
+            ],
+        );
     }
 }

@@ -15,63 +15,16 @@
 //! one JSON line so CI logs capture the whole picture in one grep — not
 //! just whichever gate happened to trip first.
 
-struct Gate {
-    name: &'static str,
-    value: f64,
-    bound: f64,
-    /// `true` when the gate wants `value >= bound`, `false` for `<=`.
-    at_least: bool,
-    /// `None` = enforced; `Some(why)` = reported but not enforced.
-    waived: Option<&'static str>,
-}
-
-impl Gate {
-    fn ok(&self) -> bool {
-        if self.waived.is_some() {
-            return true;
-        }
-        if self.at_least {
-            self.value >= self.bound
-        } else {
-            self.value <= self.bound
-        }
-    }
-
-    fn json(&self) -> String {
-        let verdict = if self.waived.is_some() {
-            "waived"
-        } else if self.ok() {
-            "ok"
-        } else {
-            "fail"
-        };
-        let waived = match self.waived {
-            Some(why) => format!(",\"waived\":\"{why}\""),
-            None => String::new(),
-        };
-        format!(
-            "{{\"gate\":\"{}\",\"value\":{:.3},\"{}\":{:.3},\"verdict\":\"{verdict}\"{waived}}}",
-            self.name,
-            self.value,
-            if self.at_least { "min" } else { "max" },
-            self.bound,
-        )
-    }
-}
+use hupc_bench::{baseline_metrics, enforce_gates, Gate};
 
 fn main() {
     let args = hupc_bench::parse_args();
     // Read the baseline up front: `--check BENCH_simcore.json` compares
     // against the committed file this run is about to overwrite.
-    let baseline = args.check.as_ref().map(|p| {
-        let s = std::fs::read_to_string(p)
-            .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", p.display()));
-        let tput = hupc_bench::exp::simcore::json_number(&s, "simcalls_per_sec_fast")
-            .unwrap_or_else(|| panic!("no simcalls_per_sec_fast in {}", p.display()));
-        let hop = hupc_bench::exp::simcore::json_number(&s, "handoff_ns")
-            .unwrap_or_else(|| panic!("no handoff_ns in {}", p.display()));
-        (tput, hop)
-    });
+    let baseline = args
+        .check
+        .as_ref()
+        .map(|p| baseline_metrics(p, &["simcalls_per_sec_fast", "handoff_ns"]));
 
     let (tables, metrics) = hupc_bench::exp::simcore::run(args.quick);
     hupc_bench::report::emit(&args, &tables);
@@ -80,57 +33,19 @@ fn main() {
         .expect("cannot write BENCH_simcore.json");
     eprintln!("[wrote BENCH_simcore.json]");
 
-    if let Some((base_tput, base_hop)) = baseline {
-        let gates = [
-            Gate {
-                name: "simcalls_per_sec_fast",
-                value: metrics.simcalls_per_sec_fast,
-                bound: base_tput / 2.0,
-                at_least: true,
-                waived: None,
-            },
-            Gate {
-                name: "handoff_ns",
-                value: metrics.handoff_ns,
-                bound: base_hop * 2.0,
-                at_least: false,
-                waived: None,
-            },
-            Gate {
-                name: "parallel_speedup_4w",
-                value: metrics.parallel_speedup_4w,
-                bound: 1.8,
-                at_least: true,
-                waived: if metrics.host_cpus >= 4.0 {
-                    None
-                } else {
-                    Some("host has fewer than 4 CPUs")
-                },
-            },
-        ];
-        if gates.iter().all(Gate::ok) {
-            eprintln!(
-                "[perf check ok: {}]",
-                gates
-                    .iter()
-                    .map(Gate::json)
-                    .collect::<Vec<_>>()
-                    .join(" ")
-            );
-        } else {
-            // Every gate in one machine-readable line, failing or not —
-            // a regression report that omits the passing context is the
-            // thing this replaced.
-            eprintln!(
-                "PERF REGRESSION: {{\"host_cpus\":{:.0},\"gates\":[{}]}}",
-                metrics.host_cpus,
-                gates
-                    .iter()
-                    .map(Gate::json)
-                    .collect::<Vec<_>>()
-                    .join(",")
-            );
-            std::process::exit(1);
-        }
+    if let Some(base) = baseline {
+        enforce_gates(
+            &[("host_cpus", metrics.host_cpus)],
+            &[
+                Gate::at_least(
+                    "simcalls_per_sec_fast",
+                    metrics.simcalls_per_sec_fast,
+                    base[0] / 2.0,
+                ),
+                Gate::at_most("handoff_ns", metrics.handoff_ns, base[1] * 2.0),
+                Gate::at_least("parallel_speedup_4w", metrics.parallel_speedup_4w, 1.8)
+                    .waive_if(metrics.host_cpus < 4.0, "host has fewer than 4 CPUs"),
+            ],
+        );
     }
 }

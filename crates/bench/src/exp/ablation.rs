@@ -54,6 +54,7 @@ fn overlap_table(quick: bool) -> Table {
             mode: ComputeMode::Model,
             iters_override: Some(if quick { 2 } else { 5 }),
             overheads: None,
+            fault: None,
         };
         let split = run_ft_upc(mk(ExchangeKind::SplitPhase)).comm_seconds;
         let olap = run_ft_upc(mk(ExchangeKind::Overlap)).comm_seconds;

@@ -81,6 +81,7 @@ fn comm_seconds(
         mode: ComputeMode::Model,
         iters_override: Some(if quick { 2 } else { 5 }),
         overheads: cast.then(cast_overheads),
+        fault: None,
     };
     run_ft_upc(cfg).comm_seconds
 }

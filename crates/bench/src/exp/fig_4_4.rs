@@ -23,6 +23,7 @@ fn run_one(threads: usize, exchange: ExchangeKind, quick: bool) -> FtResult {
         mode: ComputeMode::Model,
         iters_override: Some(if quick { 2 } else { 5 }),
         overheads: None,
+        fault: None,
     })
 }
 

@@ -26,6 +26,7 @@ fn base_cfg(machine: MachineSpec, nodes: usize, threads: usize, quick: bool) -> 
         mode: ComputeMode::Model,
         iters_override: Some(if quick { 5 } else { 20 }),
         overheads: None,
+        fault: None,
     }
 }
 

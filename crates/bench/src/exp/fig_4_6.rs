@@ -85,6 +85,7 @@ impl Runner {
             mode: ComputeMode::Model,
             iters_override: Some(if self.quick { 3 } else { 10 }),
             overheads: None,
+            fault: None,
         };
         match variant {
             Variant::Processes => {}

@@ -1,6 +1,7 @@
 //! One module per table / figure of the thesis' evaluation.
 
 pub mod ablation;
+pub mod apps;
 pub mod coll;
 pub mod fault_uts;
 pub mod fig_3_3;

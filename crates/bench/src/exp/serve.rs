@@ -18,7 +18,7 @@
 //!    p50 barely moves, the classic tail-at-scale signature.
 
 use hupc::serve::{
-    run_model, run_serve, ArrivalProcess, ModelConfig, OpMix, ServeConfig, ServeResult,
+    run_model, run_serve, ArrivalProcess, KeyDist, ModelConfig, OpMix, ServeConfig, ServeResult,
     TrafficConfig,
 };
 use hupc::prelude::{time, FaultPlan, UpcConfig};
@@ -93,6 +93,7 @@ fn base_cfg(quick: bool, mean_gap: hupc::sim::Time, seed: u64) -> ServeConfig {
             mix: OpMix::read_heavy(),
             requests_per_frontend: if quick { 120 } else { 400 },
             batch_len: 4,
+            keys: KeyDist::Uniform,
             seed,
         },
         partitions_per_thread: 2,

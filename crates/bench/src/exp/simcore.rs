@@ -93,18 +93,9 @@ impl SimcoreMetrics {
     }
 }
 
-/// Pull one numeric field out of a flat JSON object (the shape
-/// [`SimcoreMetrics::to_json`] writes). Enough of a parser for `--check`;
-/// no strings, no nesting.
-pub fn json_number(json: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\"");
-    let at = json.find(&needle)? + needle.len();
-    let rest = json[at..].trim_start().strip_prefix(':')?.trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
+/// Moved to the shared report module; re-exported so existing callers keep
+/// working.
+pub use crate::report::json_number;
 
 /// One actor, `n` plain advances: the pure simcall path.
 fn advance_storm(n: u64, fast: bool) -> (f64, u64) {

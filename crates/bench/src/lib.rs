@@ -13,4 +13,6 @@
 pub mod exp;
 pub mod report;
 
-pub use report::{parse_args, Args, Table};
+pub use report::{
+    baseline_metrics, check_gates, enforce_gates, json_number, parse_args, Args, Gate, Table,
+};

@@ -29,6 +29,7 @@
 //! | [`subthreads`] | `hupc-subthreads` | Chapter 4: nested sub-threads |
 //! | [`mpi`] | `hupc-mpi` | two-sided baseline substrate |
 //! | [`stream`] / [`uts`] / [`fft`] | apps | the evaluation workloads |
+//! | [`app`] | `hupc-app` | workload plugin SDK: registry, runner, oracles |
 //!
 //! # Quickstart
 //!
@@ -53,6 +54,7 @@
 //! });
 //! ```
 
+pub use hupc_app as app;
 pub use hupc_coll as coll;
 pub use hupc_fft as fft;
 pub use hupc_gasnet as gasnet;
@@ -72,6 +74,7 @@ pub use hupc_trace as trace;
 
 /// The names almost every program needs.
 pub mod prelude {
+    pub use hupc_app::{Params, RunEnv, Verified, Workload};
     pub use hupc_gasnet::{
         AccessPath, Backend, CommError, FaultPlan, Gasnet, GasnetConfig, Handle, Jitter,
         RetryPolicy,

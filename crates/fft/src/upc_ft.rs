@@ -83,6 +83,8 @@ pub struct FtConfig {
     /// Override the runtime software-overhead constants (the Fig 3.4
     /// "+cast" manual optimization zeroes the intra-node per-call costs).
     pub overheads: Option<hupc_upc::Overheads>,
+    /// Optional deterministic fault plan applied to the network.
+    pub fault: Option<hupc_upc::FaultPlan>,
 }
 
 impl FtConfig {
@@ -108,6 +110,7 @@ impl FtConfig {
             mode: ComputeMode::Execute,
             iters_override: None,
             overheads: None,
+            fault: None,
         }
     }
 
@@ -176,7 +179,7 @@ pub fn run_ft_upc(cfg: FtConfig) -> FtResult {
             conduit: cfg.conduit.clone(),
             segment_words,
             overheads: cfg.overheads,
-            fault: None,
+            fault: cfg.fault.clone(),
             retry: Default::default(),
             barrier_timeout: None,
         },

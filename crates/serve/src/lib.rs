@@ -33,4 +33,6 @@ pub use service::{
     ServeResult,
 };
 pub use shard::ShardMap;
-pub use traffic::{encode_schedule, ArrivalProcess, OpKind, OpMix, Request, TrafficConfig};
+pub use traffic::{
+    encode_schedule, ArrivalProcess, KeyDist, OpKind, OpMix, Request, TrafficConfig,
+};

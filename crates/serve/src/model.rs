@@ -58,6 +58,7 @@ impl ModelConfig {
                 mix: crate::traffic::OpMix::read_heavy(),
                 requests_per_frontend: 80,
                 batch_len: 4,
+                keys: crate::traffic::KeyDist::Uniform,
                 seed,
             },
             partitions_per_shard: 2,

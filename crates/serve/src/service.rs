@@ -84,6 +84,7 @@ impl ServeConfig {
                 mix: crate::traffic::OpMix::read_heavy(),
                 requests_per_frontend: 60,
                 batch_len: 4,
+                keys: crate::traffic::KeyDist::Uniform,
                 seed,
             },
             partitions_per_thread: 2,

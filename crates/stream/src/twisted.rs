@@ -3,10 +3,8 @@
 use std::sync::Arc;
 
 use hupc_sim::{time, SimCell};
-use hupc_topo::{BindPolicy, MachineSpec};
-use hupc_upc::{
-    Backend, Conduit, GasnetConfig, SharedArray, ThreadSafety, Upc, UpcConfig, UpcJob,
-};
+use hupc_topo::MachineSpec;
+use hupc_upc::{Conduit, FaultPlan, SharedArray, Upc, UpcConfig, UpcJob};
 
 /// Which implementation of the twisted triad to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -52,6 +50,8 @@ pub struct TwistedConfig {
     /// Elements of each array with affinity to each thread.
     pub elems_per_thread: usize,
     pub iters: usize,
+    /// Optional deterministic fault plan applied to the network.
+    pub fault: Option<FaultPlan>,
 }
 
 impl TwistedConfig {
@@ -64,6 +64,7 @@ impl TwistedConfig {
             variant,
             elems_per_thread: 1 << 19,
             iters: 10,
+            fault: None,
         }
     }
 
@@ -75,6 +76,7 @@ impl TwistedConfig {
             variant,
             elems_per_thread: 1 << 12,
             iters: 2,
+            fault: None,
         }
     }
 }
@@ -97,25 +99,16 @@ const SCALAR: f64 = 3.0;
 pub fn run_twisted_triad(cfg: TwistedConfig) -> TriadResult {
     assert!(cfg.threads % 2 == 0, "twisting pairs threads odd/even");
     let n_per = cfg.elems_per_thread;
-    let upc_cfg = UpcConfig {
-        gasnet: GasnetConfig {
-            machine: cfg.machine.clone(),
-            n_threads: cfg.threads,
-            nodes_used: 1,
-            // PackedCores keeps odd/even pairs on one socket, as the thesis'
-            // bound runs do.
-            bind: BindPolicy::PackedCores,
-            backend: Backend::processes_pshm(),
-            conduit: Conduit::ib_qdr(),
-            segment_words: 1 << 10,
-            overheads: None,
-            fault: None,
-            retry: Default::default(),
-            barrier_timeout: None,
-        },
-        safety: ThreadSafety::Multiple,
-    };
-    let job = UpcJob::new(upc_cfg);
+    // PackedCores (the `standard` bind) keeps odd/even pairs on one socket,
+    // as the thesis' bound runs do.
+    let job = UpcJob::new(UpcConfig::standard(
+        cfg.machine.clone(),
+        cfg.threads,
+        1,
+        Conduit::ib_qdr(),
+        1 << 10,
+        cfg.fault.clone(),
+    ));
     let n_total = n_per * cfg.threads;
     let a = job.alloc_shared::<f64>(n_total, n_per);
     let b = job.alloc_shared::<f64>(n_total, n_per);

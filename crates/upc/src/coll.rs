@@ -199,6 +199,19 @@ impl<'a> Upc<'a> {
         f64::from_bits(r)
     }
 
+    /// Element-wise all-reduce of an `f64` vector (in place), summed in
+    /// rank order per element for determinism. One provider call for the
+    /// whole vector, so hierarchical algorithms amortize their staging.
+    pub fn allreduce_sum_f64_vec(&self, vals: &mut [f64]) {
+        let mut bits: Vec<u64> = vals.iter().map(|v| v.to_bits()).collect();
+        self.allreduce_word_vec(&mut bits, &|a, b| {
+            (f64::from_bits(a) + f64::from_bits(b)).to_bits()
+        });
+        for (v, b) in vals.iter_mut().zip(&bits) {
+            *v = f64::from_bits(*b);
+        }
+    }
+
     /// All-reduce a `u64` sum.
     pub fn allreduce_sum_u64(&self, v: u64) -> u64 {
         self.allreduce_words(v, |a, b| a.wrapping_add(b))

@@ -62,6 +62,37 @@ impl UpcConfig {
             safety: ThreadSafety::Multiple,
         }
     }
+
+    /// The standard app-crate launch configuration: packed-core binding,
+    /// processes+PSHM, default overheads/retry, no barrier timeout,
+    /// `Multiple` thread safety. Everything the apps actually vary —
+    /// machine, layout, conduit, segment sizing, fault plan — is a
+    /// parameter; the rest is pinned here so workloads agree on it.
+    pub fn standard(
+        machine: hupc_topo::MachineSpec,
+        n_threads: usize,
+        nodes_used: usize,
+        conduit: hupc_net::Conduit,
+        segment_words: usize,
+        fault: Option<hupc_gasnet::FaultPlan>,
+    ) -> Self {
+        UpcConfig {
+            gasnet: GasnetConfig {
+                machine,
+                n_threads,
+                nodes_used,
+                bind: hupc_topo::BindPolicy::PackedCores,
+                backend: hupc_gasnet::Backend::processes_pshm(),
+                conduit,
+                segment_words,
+                overheads: None,
+                fault,
+                retry: Default::default(),
+                barrier_timeout: None,
+            },
+            safety: ThreadSafety::Multiple,
+        }
+    }
 }
 
 /// Per-thread deferred access-cost counters.

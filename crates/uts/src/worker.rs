@@ -7,11 +7,8 @@ use std::sync::Arc;
 
 use hupc_groups::{GroupLevel, GroupSet};
 use hupc_sim::{time, SimCell, Time};
-use hupc_topo::{BindPolicy, MachineSpec};
-use hupc_upc::{
-    Backend, Conduit, FaultPlan, GasnetConfig, ThreadSafety, Upc, UpcConfig, UpcJob,
-    UpcLock,
-};
+use hupc_topo::MachineSpec;
+use hupc_upc::{Conduit, FaultPlan, Upc, UpcConfig, UpcJob, UpcLock};
 
 use crate::stealstack::StealStacks;
 use crate::tree::{Node, TreeParams};
@@ -183,22 +180,14 @@ pub fn run_uts_prepared(
     cfg: UtsConfig,
     prepare: impl FnOnce(&mut hupc_sim::Kernel),
 ) -> Result<UtsResult, hupc_sim::SimError> {
-    let job = UpcJob::new(UpcConfig {
-        gasnet: GasnetConfig {
-            machine: cfg.machine.clone(),
-            n_threads: cfg.threads,
-            nodes_used: cfg.nodes_used,
-            bind: BindPolicy::PackedCores,
-            backend: Backend::processes_pshm(),
-            conduit: cfg.conduit.clone(),
-            segment_words: 1 << 12,
-            overheads: None,
-            fault: cfg.fault.clone(),
-            retry: Default::default(),
-            barrier_timeout: None,
-        },
-        safety: ThreadSafety::Multiple,
-    });
+    let job = UpcJob::new(UpcConfig::standard(
+        cfg.machine.clone(),
+        cfg.threads,
+        cfg.nodes_used,
+        cfg.conduit.clone(),
+        1 << 12,
+        cfg.fault.clone(),
+    ));
     let (stacks, locks) = StealStacks::allocate(&job, cfg.region_cap);
     // Termination words live on thread 0: [idle_count, done].
     let term_off = job.runtime().alloc_words(2);

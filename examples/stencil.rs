@@ -4,6 +4,11 @@
 //! to a regular computation.
 //!
 //! Run with `cargo run --release --example stencil`.
+//!
+//! The 2-D version of this pattern is a registered workload
+//! (`stencil2d` in `crates/app/src/stencil2d.rs`) — run it through the
+//! SDK sweep: `cargo run --release -p hupc-bench --bin all_experiments
+//! -- --smoke`.
 
 use std::sync::Arc;
 
